@@ -1,0 +1,130 @@
+// Section 10, problem 2: "since Horus is thread-safe, multiple procedure
+// calls into the same layer often have to be synchronized by a lock. To
+// avoid deadlock, it is sometimes necessary to invoke an upcall as a
+// thread. ... we are eliminating intra-stack threading, having discovered
+// that concurrency within a stack does not lead to significant gains."
+//
+// Measures the cost of pushing work through each execution model:
+//   inline     -- direct procedure calls (no protection);
+//   monitor    -- the paper's recommended one-logical-thread-per-stack;
+//   sequenced  -- the event-counter ordering scheme;
+//   threadpool -- real kernel threads + the per-stack lock (old Horus);
+// plus the end-to-end message cost of a full stack driven by the monitor
+// vs the sequenced executor.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "horus/runtime/executor.hpp"
+
+using namespace horus;
+using namespace horus::bench;
+
+namespace {
+
+void BM_Inline(benchmark::State& state) {
+  runtime::InlineExecutor ex;
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    ex.post([&n] { ++n; });
+  }
+  benchmark::DoNotOptimize(n);
+}
+BENCHMARK(BM_Inline);
+
+void BM_Monitor(benchmark::State& state) {
+  runtime::MonitorExecutor ex;
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    ex.post([&n] { ++n; });
+  }
+  benchmark::DoNotOptimize(n);
+}
+BENCHMARK(BM_Monitor);
+
+void BM_Sequenced(benchmark::State& state) {
+  runtime::SequencedExecutor ex;
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    ex.post([&n] { ++n; });
+  }
+  benchmark::DoNotOptimize(n);
+}
+BENCHMARK(BM_Sequenced);
+
+void BM_ThreadPool(benchmark::State& state) {
+  runtime::ThreadPoolExecutor ex(2);
+  std::uint64_t n = 0;  // protected by the pool's per-stack lock
+  for (auto _ : state) {
+    ex.post([&n] { ++n; });
+  }
+  ex.drain();
+  benchmark::DoNotOptimize(n);
+}
+BENCHMARK(BM_ThreadPool);
+
+// A raw mutex acquisition for scale (what each layer call paid in the
+// lock-per-layer design).
+void BM_MutexLockUnlock(benchmark::State& state) {
+  std::mutex mu;
+  for (auto _ : state) {
+    mu.lock();
+    mu.unlock();
+  }
+}
+BENCHMARK(BM_MutexLockUnlock);
+
+// Full-stack messages under the two single-threaded models.
+void BM_StackUnderExecutor(benchmark::State& state, bool sequenced) {
+  HorusSystem::Options opts = Rig::fast_net();
+  HorusSystem sys(opts);
+  std::unique_ptr<runtime::Executor> exec;
+  if (sequenced) {
+    exec = std::make_unique<runtime::SequencedExecutor>();
+  } else {
+    exec = std::make_unique<runtime::MonitorExecutor>();
+  }
+  // Build endpoints manually so we can inject the executor.
+  auto& a = sys.create_endpoint("MBRSHIP:FRAG:NAK:COM");
+  auto& b = sys.create_endpoint("MBRSHIP:FRAG:NAK:COM");
+  std::uint64_t delivered = 0;
+  b.on_upcall([&](Group&, UpEvent& ev) {
+    if (ev.type == UpType::kCast) ++delivered;
+  });
+  a.join(kGroup);
+  sys.run_for(50 * sim::kMillisecond);
+  b.join(kGroup, a.address());
+  sys.run_for(sim::kSecond);
+  Bytes payload(100, 0x61);
+  for (auto _ : state) {
+    std::uint64_t want = delivered + 1;
+    a.cast(kGroup, Message::from_payload(Bytes(payload)));
+    for (int guard = 0; guard < 10'000 && delivered < want; ++guard) {
+      sys.run_for(100);
+    }
+  }
+  (void)exec;
+}
+
+void BM_StackMonitor(benchmark::State& state) {
+  BM_StackUnderExecutor(state, false);
+}
+void BM_StackSequenced(benchmark::State& state) {
+  BM_StackUnderExecutor(state, true);
+}
+BENCHMARK(BM_StackMonitor);
+BENCHMARK(BM_StackSequenced);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "=== Section 10 problem 2: execution models ===\n"
+      "Per-task dispatch cost of each model, the raw mutex cost the old\n"
+      "lock-per-layer design paid at every boundary, and full-stack message\n"
+      "cost under the monitor vs event-counter models.\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Shared rig for protocol benchmarks: a 2..n endpoint world with a group
+// formed, and helpers to measure per-message CPU cost, wire bytes, and
+// virtual (simulated) latency for a given stack spec.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "horus/api/system.hpp"
+
+namespace horus::bench {
+
+constexpr GroupId kGroup{1000};
+
+/// Does the spec contain a membership layer (so join() forms views itself)?
+inline bool has_membership(const std::string& spec) {
+  return spec.find("MBRSHIP") != std::string::npos;
+}
+
+struct Rig {
+  explicit Rig(const std::string& spec, std::size_t n = 2,
+               HorusSystem::Options opts = fast_net()) : sys(opts) {
+    delivered.assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      eps.push_back(&sys.create_endpoint(spec));
+      std::size_t idx = i;
+      eps.back()->on_upcall([this, idx](Group&, UpEvent& ev) {
+        if (ev.type == UpType::kCast) {
+          ++delivered[idx];
+          last_delivery_time = sys.now();
+        }
+      });
+    }
+    if (has_membership(spec)) {
+      eps[0]->join(kGroup);
+      sys.run_for(50 * sim::kMillisecond);
+      for (std::size_t i = 1; i < n; ++i) {
+        eps[i]->join(kGroup, eps[0]->address());
+        sys.run_for(200 * sim::kMillisecond);
+      }
+      sys.run_for(sim::kSecond);
+    } else {
+      std::vector<Address> members;
+      members.reserve(n);
+      for (auto* ep : eps) members.push_back(ep->address());
+      for (auto* ep : eps) {
+        ep->join(kGroup);
+        ep->install_view(kGroup, members);
+      }
+      sys.run_for(10 * sim::kMillisecond);
+    }
+  }
+
+  /// Low, fixed network delay so protocol costs dominate measurements.
+  static HorusSystem::Options fast_net() {
+    HorusSystem::Options o;
+    o.net.loss = 0.0;
+    o.net.delay_min = 10;
+    o.net.delay_max = 11;
+    o.net.mtu = 64 * 1024;
+    return o;
+  }
+
+  /// Cast one message from member 0 and run until everyone delivered it.
+  /// Returns the virtual one-way latency (cast to last delivery), in us.
+  sim::Duration cast_and_settle(const Bytes& payload) {
+    std::uint64_t want = delivered[eps.size() - 1] + 1;
+    sim::Time start = sys.now();
+    eps[0]->cast(kGroup, Message::from_payload(Bytes(payload)));
+    for (int guard = 0; guard < 10'000 && delivered[eps.size() - 1] < want;
+         ++guard) {
+      sys.run_for(100);  // 100us slices until delivered
+    }
+    return last_delivery_time > start ? last_delivery_time - start : 0;
+  }
+
+  HorusSystem sys;
+  std::vector<Endpoint*> eps;
+  std::vector<std::uint64_t> delivered;
+  sim::Time last_delivery_time = 0;
+};
+
+}  // namespace horus::bench

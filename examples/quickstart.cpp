@@ -1,0 +1,72 @@
+// Quickstart: the shortest end-to-end Horus program.
+//
+// Builds a three-member process group over the full virtual synchrony
+// stack (TOTAL:MBRSHIP:FRAG:NAK:COM), composed at run time from the layer
+// registry, and multicasts a few messages with total ordering. Run it and
+// watch the views install and the identically-ordered deliveries arrive at
+// every member.
+//
+//   $ ./quickstart
+#include <cstdio>
+#include <string>
+
+#include "horus/api/system.hpp"
+
+using namespace horus;
+
+int main() {
+  constexpr GroupId kGroup{1};
+  const std::string stack = "TOTAL:MBRSHIP:FRAG:NAK:COM";
+
+  // The world: a deterministic scheduler + a lossy datagram network.
+  HorusSystem::Options opts;
+  opts.net.loss = 0.05;  // 5% datagram loss; the stack hides it
+  HorusSystem sys(opts);
+
+  // Three endpoints, each with its own protocol stack instance.
+  Endpoint& a = sys.create_endpoint(stack);
+  Endpoint& b = sys.create_endpoint(stack);
+  Endpoint& c = sys.create_endpoint(stack);
+
+  // Applications receive upcalls: view installations and ordered casts.
+  auto attach = [](Endpoint& ep, const char* name) {
+    ep.on_upcall([name](Group&, UpEvent& ev) {
+      switch (ev.type) {
+        case UpType::kView:
+          std::printf("[%s] VIEW  %s\n", name, ev.view.to_string().c_str());
+          break;
+        case UpType::kCast:
+          std::printf("[%s] CAST  from %s: \"%s\"\n", name,
+                      to_string(ev.source).c_str(),
+                      ev.msg.payload_string().c_str());
+          break;
+        default:
+          break;
+      }
+    });
+  };
+  attach(a, "a");
+  attach(b, "b");
+  attach(c, "c");
+
+  std::printf("The stack provides: %s\n",
+              props::to_string(a.stack().provided_properties()).c_str());
+
+  // a bootstraps the group; b and c join through it.
+  a.join(kGroup);
+  sys.run_for(100 * sim::kMillisecond);
+  b.join(kGroup, a.address());
+  sys.run_for(500 * sim::kMillisecond);
+  c.join(kGroup, a.address());
+  sys.run_for(2 * sim::kSecond);
+
+  // Concurrent multicasts: TOTAL guarantees everyone sees one order.
+  a.cast(kGroup, Message::from_string("alpha"));
+  b.cast(kGroup, Message::from_string("bravo"));
+  c.cast(kGroup, Message::from_string("charlie"));
+  sys.run_for(2 * sim::kSecond);
+
+  // Peek inside the stack (the Table 1 dump downcall).
+  std::printf("\n--- layer dump at a ---\n%s", a.dump(kGroup, "").c_str());
+  return 0;
+}

@@ -1,0 +1,62 @@
+// The Section 11 UNIX-sockets facade: "a UNIX sendto operation will be
+// mapped to a multicast, and a recvfrom will receive the next incoming
+// message". The top-most module converts the Horus protocol abstraction
+// into the blocking-ish poll-loop world a sockets programmer expects --
+// no upcalls in sight.
+//
+//   $ ./sockets_facade
+#include <cstdio>
+
+#include "horus/api/hsocket.hpp"
+
+using namespace horus;
+
+int main() {
+  constexpr GroupId kGroup{0x50c7};
+  HorusSystem sys;
+
+  HSocket server(sys, "MBRSHIP:FRAG:NAK:COM");
+  HSocket client1(sys, "MBRSHIP:FRAG:NAK:COM");
+  HSocket client2(sys, "MBRSHIP:FRAG:NAK:COM");
+
+  server.hbind(kGroup);
+  sys.run_for(100 * sim::kMillisecond);
+  client1.hconnect(kGroup, server.address());
+  sys.run_for(sim::kSecond);
+  client2.hconnect(kGroup, server.address());
+  sys.run_for(2 * sim::kSecond);
+
+  // sendto == multicast to the group.
+  server.hsendto(to_bytes("broadcast: meeting at noon"));
+  // sendto with explicit destinations == subset send.
+  server.hsendto(to_bytes("psst, client1 only"), {client1.address()});
+  sys.run_for(sim::kSecond);
+
+  auto drain = [](HSocket& s, const char* name) {
+    std::printf("--- %s's receive queue ---\n", name);
+    while (auto pkt = s.hrecvfrom()) {
+      switch (pkt->kind) {
+        case HSocket::Packet::Kind::kData:
+          std::printf("  recvfrom %s: \"%s\"\n", to_string(pkt->source).c_str(),
+                      to_string(pkt->data).c_str());
+          s.hack(pkt->source, pkt->id);  // tell Horus we processed it
+          break;
+        case HSocket::Packet::Kind::kViewChange:
+          std::printf("  membership: %s\n", pkt->view.to_string().c_str());
+          break;
+        case HSocket::Packet::Kind::kExit:
+          std::printf("  (closed)\n");
+          break;
+      }
+    }
+  };
+  drain(server, "server");
+  drain(client1, "client1");
+  drain(client2, "client2");
+
+  client2.hclose();
+  sys.run_for(3 * sim::kSecond);
+  std::printf("--- after client2 closed ---\n");
+  std::printf("server's view is now %zu member(s)\n", server.view().size());
+  return 0;
+}

@@ -1,0 +1,75 @@
+#include "horus/api/hsocket.hpp"
+
+namespace horus {
+
+HSocket::HSocket(HorusSystem& sys, const std::string& stack_spec)
+    : ep_(&sys.create_endpoint(stack_spec)) {
+  ep_->on_upcall([this](Group& g, UpEvent& ev) {
+    if (g.gid() != gid_) return;
+    switch (ev.type) {
+      case UpType::kCast:
+      case UpType::kSend: {
+        Packet p;
+        p.kind = Packet::Kind::kData;
+        p.source = ev.source;
+        p.id = ev.msg_id;
+        p.data = ev.msg.payload_bytes();
+        queue_.push_back(std::move(p));
+        return;
+      }
+      case UpType::kView: {
+        have_view_ = true;
+        Packet p;
+        p.kind = Packet::Kind::kViewChange;
+        p.view = ev.view;
+        queue_.push_back(std::move(p));
+        return;
+      }
+      case UpType::kExit: {
+        Packet p;
+        p.kind = Packet::Kind::kExit;
+        queue_.push_back(std::move(p));
+        return;
+      }
+      default:
+        return;  // other upcalls are not part of the sockets abstraction
+    }
+  });
+}
+
+void HSocket::hbind(GroupId gid) {
+  gid_ = gid;
+  ep_->join(gid);
+}
+
+void HSocket::hconnect(GroupId gid, Address contact) {
+  gid_ = gid;
+  ep_->join(gid, contact);
+}
+
+std::size_t HSocket::hsendto(ByteSpan data) {
+  ep_->cast(gid_, Message::from_payload(Bytes(data.begin(), data.end())));
+  return data.size();
+}
+
+std::size_t HSocket::hsendto(ByteSpan data, const std::vector<Address>& dests) {
+  ep_->send(gid_, dests, Message::from_payload(Bytes(data.begin(), data.end())));
+  return data.size();
+}
+
+std::optional<HSocket::Packet> HSocket::hrecvfrom() {
+  if (queue_.empty()) return std::nullopt;
+  Packet p = std::move(queue_.front());
+  queue_.pop_front();
+  return p;
+}
+
+void HSocket::hack(const Address& source, std::uint64_t id) {
+  ep_->ack(gid_, source, id);
+}
+
+void HSocket::hclose() { ep_->leave(gid_); }
+
+const View& HSocket::view() const { return ep_->group(gid_).view(); }
+
+}  // namespace horus

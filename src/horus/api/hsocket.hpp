@@ -1,0 +1,69 @@
+// The UNIX-sockets facade of Section 11:
+//
+// "Horus can present a process group through a standard UNIX sockets
+//  interface (e.g. a UNIX sendto operation will be mapped to a multicast,
+//  and a recvfrom will receive the next incoming message)."
+//
+// The top-most module is "the only one to deviate from the Horus interface
+// standard: it converts the Horus protocol abstraction into one matching
+// the needs and expectations of a user". HSocket converts the asynchronous
+// upcall world into the poll/queue world a sockets programmer expects:
+// hsendto() multicasts to the group bound to the socket, hrecvfrom() pops
+// the next delivered message (data or membership notification) if any.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "horus/api/system.hpp"
+
+namespace horus {
+
+class HSocket {
+ public:
+  /// What hrecvfrom returns: a datagram or a membership event.
+  struct Packet {
+    enum class Kind { kData, kViewChange, kExit } kind = Kind::kData;
+    Address source{};        ///< sender (kData)
+    std::uint64_t id = 0;    ///< per-sender message id (kData)
+    Bytes data;              ///< payload (kData)
+    View view;               ///< new membership (kViewChange)
+  };
+
+  /// Create a socket with its own endpoint running `stack_spec`.
+  HSocket(HorusSystem& sys, const std::string& stack_spec);
+
+  /// Bind to a group address: bootstrap it (no contact) or join through an
+  /// existing member.
+  void hbind(GroupId gid);
+  void hconnect(GroupId gid, Address contact);
+
+  /// sendto -> multicast to the bound group. Returns bytes accepted.
+  std::size_t hsendto(ByteSpan data);
+  /// sendto a subset of the current view.
+  std::size_t hsendto(ByteSpan data, const std::vector<Address>& dests);
+
+  /// recvfrom -> next queued packet, if any (non-blocking; drive the
+  /// simulation/scheduler to make progress).
+  std::optional<Packet> hrecvfrom();
+
+  /// Tell Horus the application has processed a message (stability ack).
+  void hack(const Address& source, std::uint64_t id);
+
+  void hclose();
+
+  [[nodiscard]] Address address() const { return ep_->address(); }
+  [[nodiscard]] const View& view() const;
+  [[nodiscard]] bool has_view() const { return have_view_; }
+  [[nodiscard]] std::size_t rx_queue_size() const { return queue_.size(); }
+  [[nodiscard]] Endpoint& endpoint() { return *ep_; }
+
+ private:
+  Endpoint* ep_;
+  GroupId gid_{};
+  std::deque<Packet> queue_;
+  bool have_view_ = false;
+};
+
+}  // namespace horus

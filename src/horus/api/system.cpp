@@ -1,0 +1,4 @@
+#include "horus/api/system.hpp"
+
+// HorusSystem is header-only; this translation unit anchors the library.
+namespace horus {}

@@ -1,0 +1,117 @@
+// HorusSystem: the top-level convenience facade.
+//
+// Bundles a deterministic scheduler, a fault-injecting network, and
+// endpoint lifecycle management so that applications (and the examples/
+// tests/benches in this repo) can stand up a multi-process Horus world in
+// a few lines:
+//
+//   HorusSystem sys;
+//   auto& a = sys.create_endpoint("TOTAL:MBRSHIP:FRAG:NAK:COM");
+//   auto& b = sys.create_endpoint("TOTAL:MBRSHIP:FRAG:NAK:COM");
+//   a.join(kGroup);                       // bootstraps the group
+//   b.join(kGroup, a.address());          // joins via a
+//   sys.run_for(sim::kSecond);
+//
+// Every endpoint gets its own protocol stack, built at run time from the
+// spec string -- different endpoints may run different stacks, and one
+// process may own many endpoints ("Horus can support many applications
+// concurrently, each of which can be configured individually").
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "horus/core/endpoint.hpp"
+#include "horus/core/sim_transport.hpp"
+#include "horus/layers/registry.hpp"
+#include "horus/sim/network.hpp"
+#include "horus/sim/scheduler.hpp"
+
+namespace horus {
+
+class HorusSystem {
+ public:
+  struct Options {
+    std::uint64_t seed = 0x5eed;
+    StackConfig stack;
+    sim::LinkParams net;
+    /// Properties of the simulated transport (P1: best effort).
+    props::PropertySet network_properties =
+        props::make_set({props::Property::kBestEffort});
+  };
+
+  HorusSystem() : HorusSystem(Options{}) {}
+  explicit HorusSystem(Options opts)
+      : opts_(std::move(opts)),
+        net_(sched_, opts_.seed),
+        transport_(net_) {
+    net_.set_default_params(opts_.net);
+  }
+
+  /// Create an endpoint with an automatically assigned address.
+  Endpoint& create_endpoint(const std::string& stack_spec) {
+    return create_endpoint(Address{next_addr_++}, stack_spec);
+  }
+
+  Endpoint& create_endpoint(Address addr, const std::string& stack_spec) {
+    auto ep = std::make_unique<Endpoint>(addr, opts_.stack,
+                                         layers::make_stack(stack_spec),
+                                         opts_.network_properties, transport_,
+                                         sched_);
+    Endpoint& ref = *ep;
+    transport_.bind(ref);
+    endpoints_.push_back(std::move(ep));
+    return ref;
+  }
+
+  /// Add a cactus stack on an existing (base) endpoint: another protocol
+  /// stack sharing the endpoint's address and transport (Section 4's
+  /// "multiple endpoints on a single base endpoint"). Join groups on it
+  /// with Endpoint::join_on.
+  Stack& add_stack(Endpoint& ep, const std::string& stack_spec) {
+    return ep.add_stack(layers::make_stack(stack_spec),
+                        opts_.network_properties);
+  }
+
+  /// Fail-stop crash: the endpoint stops sending, receiving and computing.
+  void crash(Endpoint& ep) { transport_.crash(ep); }
+
+  /// Partition the network into cells of endpoints; heal() reunites them.
+  void partition(const std::vector<std::vector<const Endpoint*>>& cells) {
+    std::vector<std::vector<sim::NodeId>> ids;
+    ids.reserve(cells.size());
+    for (const auto& cell : cells) {
+      std::vector<sim::NodeId> c;
+      c.reserve(cell.size());
+      for (const Endpoint* ep : cell) c.push_back(ep->address().id);
+      ids.push_back(std::move(c));
+    }
+    net_.set_partitions(ids);
+  }
+
+  void heal() { net_.set_partitions({}); }
+
+  // -- simulation control -----------------------------------------------------
+
+  std::size_t run_for(sim::Duration d) { return sched_.run_for(d); }
+  std::size_t run_until(sim::Time t) { return sched_.run_until(t); }
+  [[nodiscard]] sim::Time now() const { return sched_.now(); }
+
+  [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
+  [[nodiscard]] sim::SimNetwork& net() { return net_; }
+  [[nodiscard]] StackConfig& config() { return opts_.stack; }
+  [[nodiscard]] const std::vector<std::unique_ptr<Endpoint>>& endpoints() const {
+    return endpoints_;
+  }
+
+ private:
+  Options opts_;
+  sim::Scheduler sched_;
+  sim::SimNetwork net_;
+  SimTransport transport_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  std::uint64_t next_addr_ = 1;
+};
+
+}  // namespace horus

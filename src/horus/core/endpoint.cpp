@@ -1,0 +1,179 @@
+#include "horus/core/endpoint.hpp"
+
+#include <stdexcept>
+
+namespace horus {
+
+Endpoint::Endpoint(Address addr, StackConfig cfg,
+                   std::vector<std::unique_ptr<Layer>> layers,
+                   props::PropertySet network_properties, Transport& transport,
+                   sim::Scheduler& sched,
+                   std::unique_ptr<runtime::Executor> exec)
+    : addr_(addr),
+      exec_(exec ? std::move(exec)
+                 : std::make_unique<runtime::MonitorExecutor>()),
+      transport_(&transport),
+      sched_(&sched) {
+  stack_ = std::make_unique<Stack>(std::move(cfg), std::move(layers),
+                                   network_properties, transport, sched, *exec_,
+                                   *this);
+}
+
+Endpoint::~Endpoint() = default;
+
+Group* Endpoint::find_group(GroupId gid) {
+  auto it = groups_.find(gid);
+  return it != groups_.end() ? it->second.get() : nullptr;
+}
+
+Group& Endpoint::group(GroupId gid) {
+  Group* g = find_group(gid);
+  if (g == nullptr) throw std::out_of_range("not a member of " + to_string(gid));
+  return *g;
+}
+
+Group& Endpoint::ensure_group(GroupId gid, Stack& on) {
+  if (Group* g = find_group(gid)) return *g;
+  auto g = std::make_unique<Group>(gid, on);
+  // Until a membership layer (or the application's view downcall) installs
+  // a real view, the group is a singleton: just this endpoint.
+  g->set_view(View(ViewId{0, addr_}, {addr_}));
+  on.init_group(*g);
+  Group& ref = *g;
+  groups_.emplace(gid, std::move(g));
+  return ref;
+}
+
+Stack& Endpoint::add_stack(std::vector<std::unique_ptr<Layer>> layers,
+                           props::PropertySet network_properties) {
+  extra_stacks_.push_back(std::make_unique<Stack>(
+      stack_->config(), std::move(layers), network_properties, *transport_,
+      *sched_, *exec_, *this));
+  return *extra_stacks_.back();
+}
+
+Group& Endpoint::join_on(Stack& stack, GroupId gid, Address contact) {
+  Group& g = ensure_group(gid, stack);
+  DownEvent ev;
+  ev.type = DownType::kJoin;
+  ev.contact = contact;
+  stack.down(g, std::move(ev));
+  return g;
+}
+
+void Endpoint::deliver_datagram(Address src,
+                                std::shared_ptr<const Bytes> datagram) {
+  if (crashed_ || datagram->size() < Stack::kGidPrefix) return;
+  std::uint64_t gid = 0;
+  for (std::size_t i = 0; i < Stack::kGidPrefix; ++i) {
+    gid |= static_cast<std::uint64_t>((*datagram)[i]) << (8 * i);
+  }
+  Group* g = find_group(GroupId{gid});
+  if (g == nullptr || g->destroyed()) return;  // not a member: drop
+  g->stack().deliver_datagram(src, GroupId{gid}, std::move(datagram));
+}
+
+void Endpoint::downcall(GroupId gid, DownEvent ev) {
+  Group* g = find_group(gid);
+  if (g == nullptr || g->destroyed() || crashed_) return;
+  g->stack().down(*g, std::move(ev));
+}
+
+Group& Endpoint::join(GroupId gid, Address contact) {
+  return join_on(*stack_, gid, contact);
+}
+
+void Endpoint::cast(GroupId gid, Message msg) {
+  DownEvent ev;
+  ev.type = DownType::kCast;
+  ev.msg = std::move(msg);
+  downcall(gid, std::move(ev));
+}
+
+void Endpoint::send(GroupId gid, std::vector<Address> dests, Message msg) {
+  DownEvent ev;
+  ev.type = DownType::kSend;
+  ev.dests = std::move(dests);
+  ev.msg = std::move(msg);
+  downcall(gid, std::move(ev));
+}
+
+void Endpoint::ack(GroupId gid, Address source, std::uint64_t msg_id) {
+  DownEvent ev;
+  ev.type = DownType::kAck;
+  ev.msg_source = source;
+  ev.msg_id = msg_id;
+  downcall(gid, std::move(ev));
+}
+
+void Endpoint::flush(GroupId gid, std::vector<Address> failed) {
+  DownEvent ev;
+  ev.type = DownType::kFlush;
+  ev.dests = std::move(failed);
+  downcall(gid, std::move(ev));
+}
+
+void Endpoint::flush_ok(GroupId gid) {
+  DownEvent ev;
+  ev.type = DownType::kFlushOk;
+  downcall(gid, std::move(ev));
+}
+
+void Endpoint::merge(GroupId gid, Address contact) {
+  DownEvent ev;
+  ev.type = DownType::kMerge;
+  ev.contact = contact;
+  downcall(gid, std::move(ev));
+}
+
+void Endpoint::merge_granted(GroupId gid) {
+  DownEvent ev;
+  ev.type = DownType::kMergeGranted;
+  downcall(gid, std::move(ev));
+}
+
+void Endpoint::merge_denied(GroupId gid, std::string reason) {
+  DownEvent ev;
+  ev.type = DownType::kMergeDenied;
+  ev.info = std::move(reason);
+  downcall(gid, std::move(ev));
+}
+
+void Endpoint::leave(GroupId gid) {
+  DownEvent ev;
+  ev.type = DownType::kLeave;
+  downcall(gid, std::move(ev));
+}
+
+void Endpoint::install_view(GroupId gid, std::vector<Address> members) {
+  Group& g = ensure_group(gid, *stack_);
+  View v(ViewId{g.view().id().seq + 1, addr_}, std::move(members));
+  g.set_view(v);
+  DownEvent ev;
+  ev.type = DownType::kView;
+  ev.view = std::move(v);
+  stack_->down(g, std::move(ev));
+}
+
+void Endpoint::destroy() {
+  for (auto& [gid, g] : groups_) {
+    if (g->destroyed()) continue;
+    DownEvent ev;
+    ev.type = DownType::kDestroy;
+    g->stack().down(*g, std::move(ev));
+    g->mark_destroyed();
+  }
+  crashed_ = true;
+}
+
+std::string Endpoint::dump(GroupId gid, const std::string& layer_name) {
+  Group* g = find_group(gid);
+  if (g == nullptr) return "not a member of " + to_string(gid) + "\n";
+  return g->stack().dump(*g, layer_name);
+}
+
+void Endpoint::deliver_app_upcall(Group& g, UpEvent& ev) {
+  if (handler_) handler_(g, ev);
+}
+
+}  // namespace horus

@@ -1,0 +1,128 @@
+// The communication endpoint (Section 3): owns one protocol stack and the
+// group objects built on it, and exposes the Table 1 downcalls to the
+// application. Upcalls that emerge from the top of the stack are delivered
+// to the application's handler.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "horus/core/stack.hpp"
+
+namespace horus {
+
+class Endpoint {
+ public:
+  using UpcallHandler = std::function<void(Group&, UpEvent&)>;
+
+  /// `layers` top to bottom; `network_properties` describes the transport
+  /// (normally just P1). If `exec` is null a MonitorExecutor is used (the
+  /// paper's recommended one-thread-per-stack model).
+  Endpoint(Address addr, StackConfig cfg,
+           std::vector<std::unique_ptr<Layer>> layers,
+           props::PropertySet network_properties, Transport& transport,
+           sim::Scheduler& sched,
+           std::unique_ptr<runtime::Executor> exec = nullptr);
+  ~Endpoint();
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  [[nodiscard]] Address address() const { return addr_; }
+  /// The default (base) stack created with the endpoint.
+  [[nodiscard]] Stack& stack() { return *stack_; }
+
+  /// Cactus stacks (Section 4): "a process is allowed to put multiple
+  /// endpoints on a single base endpoint. This way, a tree or cactus stack
+  /// of protocols can be built." Additional stacks share this endpoint's
+  /// address and transport; incoming datagrams are demultiplexed to the
+  /// stack owning the destination group via the frame's group-id prefix.
+  Stack& add_stack(std::vector<std::unique_ptr<Layer>> layers,
+                   props::PropertySet network_properties);
+
+  /// Join a group on a specific stack (default join uses the base stack).
+  Group& join_on(Stack& stack, GroupId gid, Address contact = {});
+
+  /// Receive upcalls. Must outlive the endpoint's activity.
+  void on_upcall(UpcallHandler h) { handler_ = std::move(h); }
+
+  // -- Table 1 downcalls ------------------------------------------------------
+
+  /// Join a group; `contact` is an existing member to rendezvous with (an
+  /// invalid address bootstraps a new singleton group). Returns the group
+  /// handle. The VIEW upcall arrives asynchronously.
+  Group& join(GroupId gid, Address contact = {});
+
+  /// Multicast to the group's current view.
+  void cast(GroupId gid, Message msg);
+
+  /// Send to a subset of the view.
+  void send(GroupId gid, std::vector<Address> dests, Message msg);
+
+  /// Application-level acknowledgement: "I have processed message
+  /// (source, msg_id)". Drives the stability machinery (Section 9).
+  void ack(GroupId gid, Address source, std::uint64_t msg_id);
+
+  /// Report failed members and start a flush (external failure detector
+  /// input, Section 5).
+  void flush(GroupId gid, std::vector<Address> failed);
+
+  /// Go along with an in-progress flush (used when the application opted
+  /// into participating in flushes).
+  void flush_ok(GroupId gid);
+
+  /// Ask the membership layer to merge with the view that `contact`
+  /// belongs to (partition healing, Section 5/9).
+  void merge(GroupId gid, Address contact);
+
+  /// Answer a MERGE_REQUEST upcall (when app_controls_merge is set).
+  void merge_granted(GroupId gid);
+  void merge_denied(GroupId gid, std::string reason = {});
+
+  void leave(GroupId gid);
+
+  /// Install a view explicitly (Table 1's view downcall). For stacks
+  /// without a membership layer the view is "nothing but the set of
+  /// destination endpoints for multicast messages" (Section 7); stacks with
+  /// MBRSHIP manage views themselves and absorb this call.
+  void install_view(GroupId gid, std::vector<Address> members);
+
+  /// Tear down the endpoint: leave all groups, emit DESTROY.
+  void destroy();
+
+  /// Table 1 focus/dump: textual state of one layer in one group.
+  std::string dump(GroupId gid, const std::string& layer_name);
+
+  // -- simulation support -----------------------------------------------------
+
+  /// Hard-crash this endpoint: it stops sending, receiving and processing
+  /// timers instantly (fail-stop). Used by failure-injection tests.
+  void crash() { crashed_ = true; }
+  [[nodiscard]] bool crashed() const { return crashed_; }
+
+  // -- plumbing used by Stack and the transport -------------------------------
+
+  /// Raw datagram entry: strips the group-id framing prefix and routes to
+  /// the stack that owns the group.
+  void deliver_datagram(Address src, std::shared_ptr<const Bytes> datagram);
+
+  [[nodiscard]] Group* find_group(GroupId gid);
+  Group& group(GroupId gid);
+  void deliver_app_upcall(Group& g, UpEvent& ev);
+
+ private:
+  Group& ensure_group(GroupId gid, Stack& on);
+  void downcall(GroupId gid, DownEvent ev);
+
+  Address addr_;
+  std::unique_ptr<runtime::Executor> exec_;
+  Transport* transport_;
+  sim::Scheduler* sched_;
+  std::unique_ptr<Stack> stack_;
+  std::vector<std::unique_ptr<Stack>> extra_stacks_;
+  std::unordered_map<GroupId, std::unique_ptr<Group>> groups_;
+  UpcallHandler handler_;
+  bool crashed_ = false;
+};
+
+}  // namespace horus

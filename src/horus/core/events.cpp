@@ -1,0 +1,134 @@
+#include "horus/core/events.hpp"
+
+#include <algorithm>
+
+namespace horus {
+
+const char* to_string(DownType t) {
+  switch (t) {
+    case DownType::kJoin: return "join";
+    case DownType::kMerge: return "merge";
+    case DownType::kMergeDenied: return "merge_denied";
+    case DownType::kMergeGranted: return "merge_granted";
+    case DownType::kView: return "view";
+    case DownType::kCast: return "cast";
+    case DownType::kSend: return "send";
+    case DownType::kAck: return "ack";
+    case DownType::kStable: return "stable";
+    case DownType::kLeave: return "leave";
+    case DownType::kFlush: return "flush";
+    case DownType::kFlushOk: return "flush_ok";
+    case DownType::kDestroy: return "destroy";
+    case DownType::kFocus: return "focus";
+    case DownType::kDump: return "dump";
+  }
+  return "?";
+}
+
+const char* to_string(UpType t) {
+  switch (t) {
+    case UpType::kMergeRequest: return "MERGE_REQUEST";
+    case UpType::kMergeDenied: return "MERGE_DENIED";
+    case UpType::kFlush: return "FLUSH";
+    case UpType::kFlushOk: return "FLUSH_OK";
+    case UpType::kView: return "VIEW";
+    case UpType::kCast: return "CAST";
+    case UpType::kSend: return "SEND";
+    case UpType::kLeave: return "LEAVE";
+    case UpType::kDestroy: return "DESTROY";
+    case UpType::kLostMessage: return "LOST_MESSAGE";
+    case UpType::kStable: return "STABLE";
+    case UpType::kProblem: return "PROBLEM";
+    case UpType::kSystemError: return "SYSTEM_ERROR";
+    case UpType::kExit: return "EXIT";
+  }
+  return "?";
+}
+
+const char* describe(DownType t) {
+  switch (t) {
+    case DownType::kJoin: return "join group and return handle";
+    case DownType::kMerge: return "merge with other view";
+    case DownType::kMergeDenied: return "deny merge request";
+    case DownType::kMergeGranted: return "grant merge request";
+    case DownType::kView: return "install a group view";
+    case DownType::kCast: return "multicast a message";
+    case DownType::kSend: return "send message to subset";
+    case DownType::kAck: return "acknowledge a message";
+    case DownType::kStable: return "message is stable";
+    case DownType::kLeave: return "leave group";
+    case DownType::kFlush: return "remove members and flush";
+    case DownType::kFlushOk: return "go along with flush";
+    case DownType::kDestroy: return "clean up endpoint";
+    case DownType::kFocus: return "focus on layer and return handle";
+    case DownType::kDump: return "dump layer information";
+  }
+  return "?";
+}
+
+const char* describe(UpType t) {
+  switch (t) {
+    case UpType::kMergeRequest: return "request to merge";
+    case UpType::kMergeDenied: return "request denied";
+    case UpType::kFlush: return "view flush started";
+    case UpType::kFlushOk: return "flush completed";
+    case UpType::kView: return "view installation";
+    case UpType::kCast: return "received multicast message";
+    case UpType::kSend: return "received subset message";
+    case UpType::kLeave: return "member leaves";
+    case UpType::kDestroy: return "endpoint destroyed";
+    case UpType::kLostMessage: return "message was lost";
+    case UpType::kStable: return "stability update";
+    case UpType::kProblem: return "communication problem";
+    case UpType::kSystemError: return "system error report";
+    case UpType::kExit: return "close down event";
+  }
+  return "?";
+}
+
+const std::vector<DownType>& all_downcalls() {
+  static const std::vector<DownType> v = {
+      DownType::kJoin,   DownType::kMerge,    DownType::kMergeDenied,
+      DownType::kMergeGranted, DownType::kView, DownType::kCast,
+      DownType::kSend,   DownType::kAck,      DownType::kStable,
+      DownType::kLeave,  DownType::kFlush,    DownType::kFlushOk,
+      DownType::kDestroy, DownType::kFocus,   DownType::kDump,
+  };
+  return v;
+}
+
+const std::vector<UpType>& all_upcalls() {
+  static const std::vector<UpType> v = {
+      UpType::kMergeRequest, UpType::kMergeDenied, UpType::kFlush,
+      UpType::kFlushOk,      UpType::kView,        UpType::kCast,
+      UpType::kSend,         UpType::kLeave,       UpType::kDestroy,
+      UpType::kLostMessage,  UpType::kStable,      UpType::kProblem,
+      UpType::kSystemError,  UpType::kExit,
+  };
+  return v;
+}
+
+std::vector<std::uint64_t> StabilityMatrix::stable_prefix() const {
+  std::vector<std::uint64_t> out(view.size(), 0);
+  if (acked.empty()) return out;
+  for (std::size_t j = 0; j < view.size(); ++j) {
+    std::uint64_t m = UINT64_MAX;
+    for (std::size_t i = 0; i < acked.size(); ++i) {
+      m = std::min(m, j < acked[i].size() ? acked[i][j] : 0);
+    }
+    out[j] = m == UINT64_MAX ? 0 : m;
+  }
+  return out;
+}
+
+std::string StabilityMatrix::to_string() const {
+  std::string out = "stability " + view.to_string() + "\n";
+  for (std::size_t i = 0; i < acked.size(); ++i) {
+    out += "  " + horus::to_string(view.member(i)) + ":";
+    for (auto v : acked[i]) out += " " + std::to_string(v);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace horus

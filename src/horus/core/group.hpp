@@ -1,0 +1,58 @@
+// The group object (Section 3): per-endpoint, purely local state for one
+// group a process has joined -- the group address, the current view, and
+// one state slot per layer in the endpoint's stack. "Horus allows different
+// endpoints to have different views of the same group."
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <vector>
+
+#include "horus/core/layer.hpp"
+#include "horus/core/types.hpp"
+#include "horus/core/view.hpp"
+
+namespace horus {
+
+class Stack;
+
+class Group {
+ public:
+  Group(GroupId gid, Stack& stack) : gid_(gid), stack_(&stack) {}
+  Group(const Group&) = delete;
+  Group& operator=(const Group&) = delete;
+
+  [[nodiscard]] GroupId gid() const { return gid_; }
+  [[nodiscard]] Stack& stack() const { return *stack_; }
+
+  /// The view as currently installed at this member. Membership layers
+  /// update it; for membership-less stacks it is just the destination set.
+  [[nodiscard]] const View& view() const { return view_; }
+  void set_view(View v) { view_ = std::move(v); }
+
+  [[nodiscard]] bool destroyed() const { return destroyed_; }
+  void mark_destroyed() { destroyed_ = true; }
+
+  /// Layer state slots, indexed by layer position in the stack.
+  std::vector<std::unique_ptr<LayerState>>& states() { return states_; }
+
+  [[nodiscard]] LayerState* state_at(std::size_t idx) const {
+    return idx < states_.size() ? states_[idx].get() : nullptr;
+  }
+
+ private:
+  GroupId gid_;
+  Stack* stack_;
+  View view_;
+  bool destroyed_ = false;
+  std::vector<std::unique_ptr<LayerState>> states_;
+};
+
+template <class T>
+T& Layer::state(Group& g) const {
+  auto* s = g.state_at(index_);
+  assert(s != nullptr && "layer state missing");
+  return *static_cast<T*>(s);
+}
+
+}  // namespace horus

@@ -1,0 +1,94 @@
+// The protocol-as-abstract-data-type interface (Sections 1, 2, 4).
+//
+// A Layer is a software module with standardized top and bottom interfaces:
+// DownEvents enter from above (requests), UpEvents enter from below
+// (messages and notifications). A layer class is instantiated once per
+// stack, but all *state* is per-group: "although a single layer may be used
+// concurrently by many groups ... each instance has its own state. The
+// group object maintains this state on a per-endpoint basis." Layers store
+// their per-group state in the Group object via make_state()/state<T>().
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "horus/core/events.hpp"
+#include "horus/properties/algebra.hpp"
+#include "horus/util/bitfield.hpp"
+
+namespace horus {
+
+class Stack;
+class Group;
+
+/// Static description of a layer: its name (used in stack spec strings),
+/// the header fields it needs (Section 10: "a protocol will specify ...
+/// the fields that it needs (in terms of size and alignment ... in bits)"),
+/// and its Table 3 property row.
+struct LayerInfo {
+  std::string name;
+  std::vector<FieldSpec> fields;  ///< fixed header fields (bit widths)
+  bool uses_var = false;          ///< has a variable-length header extension
+  props::LayerSpec spec;          ///< Requires / Inherits / Provides row
+  bool is_transport = false;      ///< bottom-of-stack adapter (COM)
+  /// Pure pass-through for kCast/kSend data events in this direction; the
+  /// stack's fast path may skip the layer entirely (Section 10, fix 1).
+  bool skip_data_down = false;
+  bool skip_data_up = false;
+};
+
+/// Base class for per-group layer state kept inside the Group object.
+struct LayerState {
+  virtual ~LayerState() = default;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  [[nodiscard]] virtual const LayerInfo& info() const = 0;
+
+  /// Create this layer's per-group state; called when a group is created.
+  virtual std::unique_ptr<LayerState> make_state(Group& g);
+
+  /// Handle an event from above. Default: pass through unchanged.
+  virtual void down(Group& g, DownEvent& ev) { pass_down(g, ev); }
+
+  /// Handle an event from below. Default: pass through unchanged.
+  virtual void up(Group& g, UpEvent& ev) { pass_up(g, ev); }
+
+  /// Bottom (transport) layers only: a raw datagram arrived for `g`.
+  /// The stack bytes occupy [offset, datagram->size()).
+  virtual void raw_receive(Group& g, Address src,
+                           std::shared_ptr<const Bytes> datagram,
+                           std::size_t offset);
+
+  /// Diagnostics: append a human-readable dump of per-group state.
+  virtual void dump(Group& g, std::string& out) const;
+
+  /// Wired up by Stack during construction.
+  void attach(Stack& s, std::size_t index) {
+    stack_ = &s;
+    index_ = index;
+  }
+  [[nodiscard]] std::size_t index() const { return index_; }
+
+ protected:
+  /// Forward an event to the next layer below (or the transport sink).
+  void pass_down(Group& g, DownEvent& ev);
+  /// Forward an event to the next layer above (or the application sink).
+  void pass_up(Group& g, UpEvent& ev);
+
+  [[nodiscard]] Stack& stack() const { return *stack_; }
+
+  /// Typed access to this layer's per-group state.
+  template <class T>
+  [[nodiscard]] T& state(Group& g) const;
+
+ private:
+  Stack* stack_ = nullptr;
+  std::size_t index_ = 0;
+};
+
+}  // namespace horus

@@ -1,0 +1,166 @@
+#include "horus/core/message.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace horus {
+
+Message Message::from_payload(Bytes payload) {
+  auto buf = std::make_shared<const Bytes>(std::move(payload));
+  std::size_t len = buf->size();
+  return from_shared(std::move(buf), 0, len);
+}
+
+Message Message::from_shared(std::shared_ptr<const Bytes> buf, std::size_t off,
+                             std::size_t len) {
+  assert(off + len <= buf->size());
+  Message m;
+  if (len > 0) m.chunks_.push_back(Chunk{std::move(buf), off, len});
+  return m;
+}
+
+Message Message::from_wire(std::shared_ptr<const Bytes> datagram,
+                           std::size_t region_bytes, std::size_t len,
+                           std::size_t offset) {
+  Message m;
+  std::size_t end = std::min(len, datagram->size());
+  if (offset > end || end - offset < region_bytes) {
+    throw DecodeError("datagram shorter than header region");
+  }
+  m.region_.assign(
+      datagram->begin() + static_cast<std::ptrdiff_t>(offset),
+      datagram->begin() + static_cast<std::ptrdiff_t>(offset + region_bytes));
+  m.rx_cursor_ = offset + region_bytes;
+  m.rx_end_ = end;
+  m.rx_buf_ = std::move(datagram);
+  return m;
+}
+
+Message Message::from_wire(ByteSpan datagram, std::size_t region_bytes) {
+  return from_wire(std::make_shared<const Bytes>(datagram.begin(), datagram.end()),
+                   region_bytes);
+}
+
+Message Message::from_parts(Bytes region, Bytes rest) {
+  Message m;
+  m.region_ = std::move(region);
+  m.rx_buf_ = std::make_shared<const Bytes>(std::move(rest));
+  m.rx_cursor_ = 0;
+  m.rx_end_ = m.rx_buf_->size();
+  return m;
+}
+
+void Message::push_block(ByteSpan block) {
+  assert(!rx() && "push_block on a received message");
+  blocks_.emplace_back(block.begin(), block.end());
+}
+
+MutByteSpan Message::region_mut(std::size_t bytes) {
+  assert(!rx() && "region_mut on a received message");
+  if (region_.size() < bytes) region_.resize(bytes, 0);
+  return MutByteSpan(region_);
+}
+
+Bytes Message::to_wire(std::size_t region_bytes) const {
+  assert(!rx() && "to_wire on a received message");
+  Bytes out;
+  std::size_t total = region_bytes;
+  for (const auto& b : blocks_) total += b.size();
+  for (const auto& c : chunks_) total += c.len;
+  out.reserve(total);
+  // Region, zero-padded to the stack's layout size.
+  out.insert(out.end(), region_.begin(), region_.end());
+  if (out.size() < region_bytes) out.resize(region_bytes, 0);
+  // Blocks, outermost (last pushed) first, so the receiving stack pops them
+  // bottom layer first.
+  for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) {
+    out.insert(out.end(), it->begin(), it->end());
+  }
+  for (const auto& c : chunks_) {
+    out.insert(out.end(), c.buf->begin() + static_cast<std::ptrdiff_t>(c.off),
+               c.buf->begin() + static_cast<std::ptrdiff_t>(c.off + c.len));
+  }
+  return out;
+}
+
+Reader Message::reader() const {
+  assert(rx() && "reader on a tx message");
+  return Reader(ByteSpan(*rx_buf_).subspan(rx_cursor_, rx_end_ - rx_cursor_));
+}
+
+void Message::consume(std::size_t n) {
+  assert(rx());
+  if (rx_cursor_ + n > rx_end_) throw DecodeError("consume past end");
+  rx_cursor_ += n;
+}
+
+std::size_t Message::payload_size() const {
+  if (rx()) return rx_end_ - rx_cursor_;
+  std::size_t n = 0;
+  for (const auto& c : chunks_) n += c.len;
+  return n;
+}
+
+Bytes Message::payload_bytes() const {
+  if (rx()) {
+    return Bytes(rx_buf_->begin() + static_cast<std::ptrdiff_t>(rx_cursor_),
+                 rx_buf_->begin() + static_cast<std::ptrdiff_t>(rx_end_));
+  }
+  Bytes out;
+  out.reserve(payload_size());
+  for (const auto& c : chunks_) {
+    out.insert(out.end(), c.buf->begin() + static_cast<std::ptrdiff_t>(c.off),
+               c.buf->begin() + static_cast<std::ptrdiff_t>(c.off + c.len));
+  }
+  return out;
+}
+
+Message Message::slice_payload(std::size_t off, std::size_t len) const {
+  Message m;
+  if (rx()) {
+    if (rx_cursor_ + off + len > rx_end_) throw DecodeError("slice past end");
+    if (len > 0) m.chunks_.push_back(Chunk{rx_buf_, rx_cursor_ + off, len});
+    return m;
+  }
+  assert(blocks_.empty() && "slice_payload with pushed headers");
+  std::size_t skip = off;
+  std::size_t want = len;
+  for (const auto& c : chunks_) {
+    if (want == 0) break;
+    if (skip >= c.len) {
+      skip -= c.len;
+      continue;
+    }
+    std::size_t take = std::min(c.len - skip, want);
+    m.chunks_.push_back(Chunk{c.buf, c.off + skip, take});
+    want -= take;
+    skip = 0;
+  }
+  if (want != 0) throw std::out_of_range("slice_payload past end");
+  return m;
+}
+
+Bytes Message::upper_wire() const {
+  if (rx()) {
+    return Bytes(rx_buf_->begin() + static_cast<std::ptrdiff_t>(rx_cursor_),
+                 rx_buf_->begin() + static_cast<std::ptrdiff_t>(rx_end_));
+  }
+  Bytes out;
+  for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) {
+    out.insert(out.end(), it->begin(), it->end());
+  }
+  for (const auto& c : chunks_) {
+    out.insert(out.end(), c.buf->begin() + static_cast<std::ptrdiff_t>(c.off),
+               c.buf->begin() + static_cast<std::ptrdiff_t>(c.off + c.len));
+  }
+  return out;
+}
+
+std::size_t Message::header_overhead() const {
+  std::size_t n = region_.size();
+  for (const auto& b : blocks_) n += b.size();
+  if (rx()) n += rx_cursor_ >= region_.size() ? rx_cursor_ - region_.size() : 0;
+  return n;
+}
+
+}  // namespace horus

@@ -1,0 +1,130 @@
+// The Horus message object (Section 3).
+//
+// "The message object is a local storage structure optimized for its
+//  purpose. Its interface includes operations to push and pop protocol
+//  headers, much like a stack. ... A message object can contain pointers to
+//  data located in the address space of the application ...; this permits
+//  Horus to pass messages up and down a stack with no copying of the data."
+//
+// A Message is in one of two modes:
+//
+//  * tx mode -- created around a payload and sent DOWN a stack. Layers
+//    prepend header blocks (push); the payload is a chain of reference-
+//    counted chunks, so fragmentation and app buffers are zero-copy.
+//  * rx mode -- created around a received datagram and passed UP a stack.
+//    Layers pop their headers by advancing a cursor over the shared
+//    datagram buffer; whatever remains when the message reaches the
+//    application is the payload. No bytes are copied on the way up.
+//
+// "The message object that is sent is different from the message object
+//  that is delivered" -- exactly these two modes.
+//
+// Two header codecs exist, reproducing Section 10's discussion:
+//  * the classic push/pop blocks, where each layer's fields are written
+//    word-aligned (the measured overhead source), and
+//  * a compacted region: a single bit-packed area precomputed per stack
+//    (BitLayout), written in place by each layer with no push/pop at all.
+// Variable-length header extensions (e.g. piggybacked acknowledgement
+// vectors) always travel as push/pop blocks.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "horus/util/bytes.hpp"
+#include "horus/util/serialize.hpp"
+
+namespace horus {
+
+class Message {
+ public:
+  /// Empty-payload tx message.
+  Message() = default;
+
+  // -- construction ---------------------------------------------------------
+
+  static Message from_payload(Bytes payload);
+  static Message from_string(std::string_view s) { return from_payload(to_bytes(s)); }
+  /// Zero-copy: payload references `[off, off+len)` of a shared buffer.
+  static Message from_shared(std::shared_ptr<const Bytes> buf, std::size_t off,
+                             std::size_t len);
+  /// rx mode: wrap a received datagram. The message occupies
+  /// [offset, len) of the buffer; its first `region_bytes` bytes are the
+  /// compacted header region (0 in classic mode). len = SIZE_MAX means the
+  /// whole buffer; transports that append trailers pass a shorter len, and
+  /// endpoint-level framing passes a nonzero offset.
+  static Message from_wire(std::shared_ptr<const Bytes> datagram,
+                           std::size_t region_bytes,
+                           std::size_t len = static_cast<std::size_t>(-1),
+                           std::size_t offset = 0);
+  static Message from_wire(ByteSpan datagram, std::size_t region_bytes);
+  /// rx mode from previously captured pieces (see upper_wire); used when a
+  /// layer re-injects a logged message during flush/retransmission.
+  static Message from_parts(Bytes region, Bytes rest);
+
+  [[nodiscard]] bool rx() const { return rx_buf_ != nullptr; }
+
+  // -- tx path: header pushing ---------------------------------------------
+
+  /// Prepend a header block (classic codec). tx mode only.
+  void push_block(ByteSpan block);
+
+  /// The compacted header region, grown to at least `bytes`. tx mode only.
+  MutByteSpan region_mut(std::size_t bytes);
+
+  /// Serialize for the wire: [region (padded to region_bytes)][header blocks,
+  /// outermost first][payload chunks]. tx mode only.
+  [[nodiscard]] Bytes to_wire(std::size_t region_bytes) const;
+
+  // -- rx path: header popping ---------------------------------------------
+
+  /// Reader over all not-yet-consumed bytes. rx mode only.
+  [[nodiscard]] Reader reader() const;
+  /// Mark `n` bytes as consumed (a header pop). rx mode only.
+  void consume(std::size_t n);
+
+  /// The compacted header region (rx view or tx contents).
+  [[nodiscard]] ByteSpan region() const { return region_; }
+
+  // -- payload --------------------------------------------------------------
+
+  [[nodiscard]] std::size_t payload_size() const;
+  /// Linearized payload (copies if chunked).
+  [[nodiscard]] Bytes payload_bytes() const;
+  [[nodiscard]] std::string payload_string() const { return horus::to_string(payload_bytes()); }
+
+  /// Zero-copy sub-range of this tx message's payload as a new tx message
+  /// (fragmentation). Requires off+len <= payload_size().
+  [[nodiscard]] Message slice_payload(std::size_t off, std::size_t len) const;
+
+  // -- capture for logging / forwarding -------------------------------------
+
+  /// Serialize everything above the current position: for a tx message the
+  /// pushed blocks + payload, for an rx message the unconsumed remainder.
+  /// Together with region_copy() this captures the message as seen at the
+  /// capturing layer, so it can be re-injected later with from_parts().
+  [[nodiscard]] Bytes upper_wire() const;
+  [[nodiscard]] Bytes region_copy() const { return region_; }
+
+  /// Total header bytes this message carries (blocks + region); stats.
+  [[nodiscard]] std::size_t header_overhead() const;
+
+ private:
+  struct Chunk {
+    std::shared_ptr<const Bytes> buf;
+    std::size_t off = 0;
+    std::size_t len = 0;
+  };
+
+  // tx state
+  std::vector<Bytes> blocks_;  // push order: [0] innermost (pushed first)
+  std::vector<Chunk> chunks_;  // payload chain
+  // rx state
+  std::shared_ptr<const Bytes> rx_buf_;
+  std::size_t rx_cursor_ = 0;
+  std::size_t rx_end_ = 0;
+  // both
+  Bytes region_;
+};
+
+}  // namespace horus

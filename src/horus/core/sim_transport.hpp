@@ -1,0 +1,40 @@
+// Adapter binding a Horus endpoint to the simulated datagram network.
+#pragma once
+
+#include <memory>
+
+#include "horus/core/endpoint.hpp"
+#include "horus/sim/network.hpp"
+
+namespace horus {
+
+/// Transport over sim::SimNetwork. One instance can serve many endpoints
+/// (it is stateless per send).
+class SimTransport final : public Transport {
+ public:
+  explicit SimTransport(sim::SimNetwork& net) : net_(&net) {}
+
+  void send(Address src, Address dst, ByteSpan datagram) override {
+    net_->send(src.id, dst.id, datagram);
+  }
+
+  /// Register an endpoint's receive path with the network.
+  void bind(Endpoint& ep) {
+    net_->attach(ep.address().id, [&ep](sim::NodeId src, ByteSpan data) {
+      ep.deliver_datagram(
+          Address{src}, std::make_shared<const Bytes>(data.begin(), data.end()));
+    });
+  }
+
+  /// Fail-stop crash: endpoint stops processing and the network stops
+  /// delivering to it.
+  void crash(Endpoint& ep) {
+    ep.crash();
+    net_->crash(ep.address().id);
+  }
+
+ private:
+  sim::SimNetwork* net_;
+};
+
+}  // namespace horus

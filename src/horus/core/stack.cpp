@@ -1,0 +1,290 @@
+#include "horus/core/stack.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "horus/core/endpoint.hpp"
+
+namespace horus {
+namespace {
+
+constexpr std::size_t kAppSink = static_cast<std::size_t>(-1);
+
+bool is_data(DownType t) { return t == DownType::kCast || t == DownType::kSend; }
+bool is_data(UpType t) { return t == UpType::kCast || t == UpType::kSend; }
+
+}  // namespace
+
+Stack::Stack(StackConfig cfg, std::vector<std::unique_ptr<Layer>> layers,
+             props::PropertySet network_properties, Transport& transport,
+             sim::Scheduler& sched, runtime::Executor& exec, Endpoint& owner)
+    : cfg_(cfg),
+      layers_(std::move(layers)),
+      transport_(transport),
+      sched_(sched),
+      exec_(exec),
+      owner_(&owner) {
+  if (layers_.empty()) throw std::invalid_argument("empty protocol stack");
+  if (!layers_.back()->info().is_transport) {
+    throw std::invalid_argument("bottom layer " + layers_.back()->info().name +
+                                " is not a transport adapter");
+  }
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (i + 1 < layers_.size() && layers_[i]->info().is_transport) {
+      throw std::invalid_argument("transport adapter " + layers_[i]->info().name +
+                                  " must be the bottom layer");
+    }
+    layers_[i]->attach(*this, i);
+  }
+
+  // Section 6: verify the composition is well-formed and compute what it
+  // provides. An application "pays only for properties it uses" -- and gets
+  // an error, not silent misbehaviour, for an unsatisfiable stack.
+  std::vector<props::LayerSpec> specs;
+  specs.reserve(layers_.size());
+  for (const auto& l : layers_) specs.push_back(l->info().spec);
+  props::StackCheck check = props::check_stack(specs, network_properties);
+  if (!check.well_formed) {
+    throw std::invalid_argument("ill-formed stack: " + check.error);
+  }
+  provided_ = check.result;
+
+  compile_layout();
+  compile_skip_tables();
+}
+
+void Stack::compile_layout() {
+  group_of_.resize(layers_.size());
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    group_of_[i] = layout_.add_group(layers_[i]->info().fields);
+  }
+}
+
+void Stack::compile_skip_tables() {
+  const std::size_t n = layers_.size();
+  next_down_.assign(n, n);
+  next_up_.assign(n, kAppSink);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (!layers_[j]->info().skip_data_down) {
+        next_down_[i] = j;
+        break;
+      }
+    }
+    for (std::size_t j = i; j-- > 0;) {
+      if (!layers_[j]->info().skip_data_up) {
+        next_up_[i] = j;
+        break;
+      }
+    }
+  }
+}
+
+std::size_t Stack::region_bytes() const {
+  return cfg_.codec == HeaderCodec::kCompact ? layout_.byte_size() : 0;
+}
+
+void Stack::down(Group& g, DownEvent ev) {
+  ++stats_.downcalls;
+  GroupId gid = g.gid();
+  exec_.post([this, gid, ev = std::move(ev)]() mutable {
+    if (owner_->crashed()) return;
+    Group* grp = owner_->find_group(gid);
+    if (grp == nullptr || grp->destroyed()) return;
+    forward_down(kAppSink, *grp, ev);
+  });
+}
+
+void Stack::deliver_datagram(Address src, GroupId gid,
+                             std::shared_ptr<const Bytes> datagram) {
+  ++stats_.datagrams_received;
+  exec_.post([this, src, gid, datagram = std::move(datagram)]() {
+    if (owner_->crashed()) return;
+    Group* g = owner_->find_group(gid);
+    if (g == nullptr || g->destroyed()) return;
+    layers_.back()->raw_receive(*g, src, datagram, kGidPrefix);
+  });
+}
+
+void Stack::forward_down(std::size_t from_index, Group& g, DownEvent& ev) {
+  std::size_t next;
+  if (from_index == kAppSink) {
+    next = 0;
+    if (cfg_.skip_noop_layers && is_data(ev.type) && !layers_.empty() &&
+        layers_[0]->info().skip_data_down) {
+      // The top layer itself may be skippable; reuse its table entry.
+      next = next_down_[0];
+    }
+  } else if (cfg_.skip_noop_layers && is_data(ev.type)) {
+    next = next_down_[from_index];
+  } else {
+    next = from_index + 1;
+  }
+  if (next >= layers_.size()) return;  // absorbed below the bottom
+  layers_[next]->down(g, ev);
+}
+
+void Stack::forward_up(std::size_t from_index, Group& g, UpEvent& ev) {
+  std::size_t next;
+  if (from_index == 0) {
+    next = kAppSink;
+  } else if (cfg_.skip_noop_layers && is_data(ev.type)) {
+    next = next_up_[from_index];
+  } else {
+    next = from_index - 1;
+  }
+  if (next == kAppSink) {
+    app_up(g, ev);
+    return;
+  }
+  layers_[next]->up(g, ev);
+}
+
+void Stack::app_up(Group& g, UpEvent& ev) {
+  ++stats_.upcalls_to_app;
+  owner_->deliver_app_upcall(g, ev);
+}
+
+void Stack::transport_send(Address dst, const Message& msg) {
+  transport_send_raw(dst, msg.to_wire(region_bytes()), msg.payload_size());
+}
+
+// (Transport layers normally build the framed wire themselves via
+// transport_send_raw; transport_send is kept for simple adapters.)
+
+void Stack::transport_send_raw(Address dst, ByteSpan wire,
+                               std::size_t payload_size) {
+  ++stats_.datagrams_sent;
+  stats_.wire_bytes_sent += wire.size();
+  stats_.payload_bytes_sent += payload_size;
+  stats_.header_bytes_sent += wire.size() - payload_size;
+  transport_.send(address(), dst, wire);
+}
+
+void Stack::push_header(Message& m, const Layer& layer,
+                        std::span<const std::uint64_t> fields, ByteSpan var) {
+  const LayerInfo& li = layer.info();
+  assert(fields.size() == li.fields.size());
+  if (cfg_.codec == HeaderCodec::kCompact) {
+    MutByteSpan region = m.region_mut(layout_.byte_size());
+    std::size_t grp = group_of_[layer.index()];
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      layout_.set(region, grp, i, fields[i]);
+    }
+    if (li.uses_var) {
+      Writer w;
+      w.bytes(var);
+      m.push_block(w.data());
+    }
+    return;
+  }
+  // Classic codec: every field is pushed word-aligned, exactly the overhead
+  // Section 10 complains about ("a considerable overhead of unused bits").
+  Writer w;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (li.fields[i].bits <= 32) {
+      w.u32(static_cast<std::uint32_t>(fields[i]));
+    } else {
+      w.u64(fields[i]);
+    }
+  }
+  if (li.uses_var) w.bytes(var);
+  m.push_block(w.data());
+}
+
+PoppedHeader Stack::pop_header(Message& m, const Layer& layer) {
+  const LayerInfo& li = layer.info();
+  PoppedHeader out;
+  out.fields.reserve(li.fields.size());
+  if (cfg_.codec == HeaderCodec::kCompact) {
+    ByteSpan region = m.region();
+    if (region.size() < layout_.byte_size()) throw DecodeError("short header region");
+    std::size_t grp = group_of_[layer.index()];
+    for (std::size_t i = 0; i < li.fields.size(); ++i) {
+      out.fields.push_back(layout_.get(region, grp, i));
+    }
+    if (li.uses_var) {
+      Reader r = m.reader();
+      out.var = r.bytes();
+      m.consume(r.position());
+    }
+    return out;
+  }
+  Reader r = m.reader();
+  for (const FieldSpec& f : li.fields) {
+    out.fields.push_back(f.bits <= 32 ? r.u32() : r.u64());
+  }
+  if (li.uses_var) out.var = r.bytes();
+  m.consume(r.position());
+  return out;
+}
+
+Bytes Stack::region_prefix(const Message& m, const Layer& layer) const {
+  if (cfg_.codec != HeaderCodec::kCompact) return {};
+  std::size_t prefix_bits = 0;
+  for (std::size_t i = 0; i < layer.index(); ++i) {
+    for (const FieldSpec& f : layers_[i]->info().fields) {
+      prefix_bits += static_cast<std::size_t>(f.bits);
+    }
+  }
+  ByteSpan region = m.region();
+  std::size_t whole = prefix_bits / 8;
+  int partial = static_cast<int>(prefix_bits % 8);
+  // A tx message may not have its full region allocated yet (it grows as
+  // the message descends); missing bytes read as zero so that sender-side
+  // and receiver-side coverage agree.
+  Bytes out(whole + (partial != 0 ? 1 : 0), 0);
+  for (std::size_t i = 0; i < out.size() && i < region.size(); ++i) {
+    out[i] = region[i];
+  }
+  if (partial != 0 && whole < out.size()) {
+    out[whole] = static_cast<std::uint8_t>(out[whole] & ((1u << partial) - 1));
+  }
+  return out;
+}
+
+sim::TimerId Stack::schedule(GroupId gid, sim::Duration d,
+                             std::function<void(Group&)> fn) {
+  return sched_.schedule(d, [this, gid, fn = std::move(fn)]() {
+    exec_.post([this, gid, fn]() {
+      if (owner_->crashed()) return;
+      Group* g = owner_->find_group(gid);
+      if (g == nullptr || g->destroyed()) return;
+      fn(*g);
+    });
+  });
+}
+
+void Stack::cancel(sim::TimerId id) { sched_.cancel(id); }
+
+sim::Time Stack::now() const { return sched_.now(); }
+
+Address Stack::address() const { return owner_->address(); }
+
+Layer* Stack::find_layer(const std::string& name) const {
+  for (const auto& l : layers_) {
+    if (l->info().name == name) return l.get();
+  }
+  return nullptr;
+}
+
+std::string Stack::dump(Group& g, const std::string& layer_name) const {
+  std::string out;
+  if (layer_name.empty()) {
+    for (const auto& l : layers_) l->dump(g, out);
+    return out;
+  }
+  Layer* l = find_layer(layer_name);
+  if (l == nullptr) return "no such layer: " + layer_name + "\n";
+  l->dump(g, out);
+  return out;
+}
+
+void Stack::init_group(Group& g) {
+  auto& slots = g.states();
+  slots.clear();
+  slots.reserve(layers_.size());
+  for (const auto& l : layers_) slots.push_back(l->make_state(g));
+}
+
+}  // namespace horus

@@ -1,0 +1,216 @@
+// Stack: a run-time composition of protocol layers (Sections 1, 4, 10).
+//
+// "When creating an endpoint, a process describes, at run-time, what stack
+//  of protocols it needs." The stack owns the layer instances (top to
+//  bottom), validates well-formedness against the Section 6 property
+//  algebra, compiles the compacted header layout (Section 10, fix 3) and
+//  the no-op-layer skip tables (fix 1), and provides the services every
+//  layer needs: header codecs, timers, the transport sink below and the
+//  application sink above.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "horus/core/group.hpp"
+#include "horus/core/layer.hpp"
+#include "horus/core/message.hpp"
+#include "horus/core/types.hpp"
+#include "horus/runtime/executor.hpp"
+#include "horus/sim/scheduler.hpp"
+#include "horus/util/crypto.hpp"
+
+namespace horus {
+
+class Endpoint;
+
+/// How layer headers are encoded on the wire.
+enum class HeaderCodec {
+  kPushPop,  ///< classic: each layer pushes its own word-aligned block
+  kCompact,  ///< Section 10 fix 3: one precomputed bit-packed region
+};
+
+/// Which membership/partition policy MBRSHIP applies (Section 9).
+enum class PartitionPolicy {
+  kPrimaryPartition,  ///< Isis-style: only a majority partition makes progress
+  kExtendedVs,        ///< Transis/Totem-style: every partition continues
+};
+
+/// Tunables shared by all layers of a stack. Times are in microseconds of
+/// simulated (or driver) time.
+struct StackConfig {
+  HeaderCodec codec = HeaderCodec::kPushPop;
+  bool skip_noop_layers = true;  ///< enable the Section 10 layer-skip fast path
+  std::size_t mtu = 1400;        ///< transport datagram limit, drives FRAG
+
+  // NAK (reliable FIFO) tuning.
+  sim::Duration nak_status_interval = 20 * sim::kMillisecond;
+  sim::Duration nak_resend_timeout = 10 * sim::kMillisecond;
+  std::size_t nak_window = 256;        ///< max unacked casts buffered per peer
+  std::size_t nak_max_retain = 4096;   ///< retransmit buffer cap (then LOST_MESSAGE)
+  sim::Duration fail_timeout = 250 * sim::kMillisecond;  ///< silence => PROBLEM
+
+  // MBRSHIP tuning.
+  sim::Duration flush_retry = 100 * sim::kMillisecond;
+  PartitionPolicy partition_policy = PartitionPolicy::kExtendedVs;
+  /// When set, MBRSHIP waits for the application's flush_ok downcall
+  /// before contributing its FLUSH reply ("go along with flush", Table 1).
+  bool app_controls_flush = false;
+  /// When set, the coordinator holds merge requests for the application:
+  /// the MERGE_REQUEST upcall must be answered with merge_granted or
+  /// merge_denied (Table 1) instead of being auto-granted.
+  bool app_controls_merge = false;
+
+  // TOTAL tuning.
+  sim::Duration token_idle_delay = 5 * sim::kMillisecond;
+
+  // STABLE / PINWHEEL tuning.
+  sim::Duration stability_gossip_interval = 50 * sim::kMillisecond;
+  sim::Duration pinwheel_interval = 30 * sim::kMillisecond;
+
+  // Security layers.
+  Key key{0x4865726f, 0x73323031};
+
+  /// Shared journal for LOG layers (survives endpoint crashes; see
+  /// horus/layers/observe.hpp). Type-erased here so core need not depend
+  /// on the layer library; assign a std::shared_ptr<layers::LogStore>.
+  /// Null: each LOG layer keeps a private store.
+  std::shared_ptr<void> log_store_erased;
+};
+
+/// What the stack sits on: a best-effort datagram service (P1).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual void send(Address src, Address dst, ByteSpan datagram) = 0;
+};
+
+/// Counters for benches and tests.
+struct StackStats {
+  std::uint64_t downcalls = 0;
+  std::uint64_t upcalls_to_app = 0;
+  std::uint64_t datagrams_sent = 0;
+  std::uint64_t datagrams_received = 0;
+  std::uint64_t wire_bytes_sent = 0;
+  std::uint64_t header_bytes_sent = 0;
+  std::uint64_t payload_bytes_sent = 0;
+};
+
+/// Decoded fixed fields + variable extension of one layer's header.
+struct PoppedHeader {
+  std::vector<std::uint64_t> fields;
+  Bytes var;
+};
+
+class Stack {
+ public:
+  /// `layers` is ordered top to bottom; the bottom layer must be a
+  /// transport adapter (info().is_transport). Throws std::invalid_argument
+  /// if the composition is ill-formed under the property algebra given
+  /// `network_properties`.
+  Stack(StackConfig cfg, std::vector<std::unique_ptr<Layer>> layers,
+        props::PropertySet network_properties, Transport& transport,
+        sim::Scheduler& sched, runtime::Executor& exec, Endpoint& owner);
+  Stack(const Stack&) = delete;
+  Stack& operator=(const Stack&) = delete;
+
+  // -- entry points ----------------------------------------------------------
+
+  /// Application downcall; enters the top of the stack via the executor.
+  void down(Group& g, DownEvent ev);
+
+  /// Raw datagram from the transport, already demultiplexed to a group by
+  /// the endpoint (the wire carries a group-id prefix of kGidPrefix
+  /// bytes); enters the bottom via the executor.
+  static constexpr std::size_t kGidPrefix = 8;
+  void deliver_datagram(Address src, GroupId gid,
+                        std::shared_ptr<const Bytes> datagram);
+
+  // -- sinks (called by the edge layers) -------------------------------------
+
+  /// Above the top layer: deliver an upcall to the application.
+  void app_up(Group& g, UpEvent& ev);
+
+  /// Below the bottom layer: serialize and transmit.
+  void transport_send(Address dst, const Message& msg);
+
+  /// Transmit an already-serialized datagram (transport layers that add
+  /// trailers serialize themselves); `wire` must already begin with the
+  /// group-id prefix. `payload_size` is for stats only.
+  void transport_send_raw(Address dst, ByteSpan wire, std::size_t payload_size);
+
+  // -- header codec services --------------------------------------------------
+
+  /// Encode `fields` (and optional variable extension) for `layer` onto a
+  /// tx message, using the stack's codec.
+  void push_header(Message& m, const Layer& layer,
+                   std::span<const std::uint64_t> fields, ByteSpan var = {});
+
+  /// Decode (and consume) `layer`'s header from an rx message.
+  PoppedHeader pop_header(Message& m, const Layer& layer);
+
+  /// Size of the compacted region (0 in push/pop mode).
+  [[nodiscard]] std::size_t region_bytes() const;
+
+  /// The region bits belonging to layers strictly above `layer`, copied out
+  /// and masked to whole bytes. Integrity layers (CHKSUM, SIGN) include
+  /// this in their coverage so that compacted headers of upper layers are
+  /// protected too. Empty in push/pop mode.
+  [[nodiscard]] Bytes region_prefix(const Message& m, const Layer& layer) const;
+
+  // -- services for layers ----------------------------------------------------
+
+  /// Schedule a callback bound to a group; it is skipped automatically if
+  /// the group is destroyed or the endpoint has crashed by then.
+  sim::TimerId schedule(GroupId gid, sim::Duration d,
+                        std::function<void(Group&)> fn);
+  void cancel(sim::TimerId id);
+  [[nodiscard]] sim::Time now() const;
+
+  [[nodiscard]] const StackConfig& config() const { return cfg_; }
+  [[nodiscard]] Endpoint& endpoint() const { return *owner_; }
+  [[nodiscard]] Address address() const;
+
+  // -- introspection -----------------------------------------------------------
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Layer>>& layers() const {
+    return layers_;
+  }
+  [[nodiscard]] Layer* find_layer(const std::string& name) const;
+  [[nodiscard]] props::PropertySet provided_properties() const { return provided_; }
+  [[nodiscard]] const StackStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = StackStats{}; }
+  /// The focus/dump downcalls of Table 1: textual state of one layer.
+  [[nodiscard]] std::string dump(Group& g, const std::string& layer_name) const;
+
+  /// Create per-group layer state slots for a new group.
+  void init_group(Group& g);
+
+  // Internal: used by Layer::pass_down/pass_up. Index is the calling layer.
+  void forward_down(std::size_t from_index, Group& g, DownEvent& ev);
+  void forward_up(std::size_t from_index, Group& g, UpEvent& ev);
+
+ private:
+  void compile_layout();
+  void compile_skip_tables();
+
+  StackConfig cfg_;
+  std::vector<std::unique_ptr<Layer>> layers_;  // [0] = top
+  Transport& transport_;
+  sim::Scheduler& sched_;
+  runtime::Executor& exec_;
+  Endpoint* owner_;
+  props::PropertySet provided_ = 0;
+  BitLayout layout_;                  // compact codec layout
+  std::vector<std::size_t> group_of_; // layer index -> layout group
+  // Skip tables: for data events, the next layer index that actually acts
+  // (layers_.size() means the sink).
+  std::vector<std::size_t> next_down_;
+  std::vector<std::size_t> next_up_;  // toward the app; index 0's "next" is sink
+  StackStats stats_;
+};
+
+}  // namespace horus

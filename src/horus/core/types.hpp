@@ -1,0 +1,58 @@
+// Fundamental identifier types of the Horus object model (Section 3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace horus {
+
+/// The address of a communication endpoint. Messages are not addressed to
+/// endpoints but to groups; endpoint addresses are used for membership.
+struct Address {
+  std::uint64_t id = 0;
+
+  friend bool operator==(const Address&, const Address&) = default;
+  friend auto operator<=>(const Address&, const Address&) = default;
+  [[nodiscard]] bool valid() const { return id != 0; }
+};
+
+/// The group address messages are sent to.
+struct GroupId {
+  std::uint64_t id = 0;
+
+  friend bool operator==(const GroupId&, const GroupId&) = default;
+  friend auto operator<=>(const GroupId&, const GroupId&) = default;
+  [[nodiscard]] bool valid() const { return id != 0; }
+};
+
+/// Identifies one installed view of a group. Views are totally ordered by
+/// sequence number; the coordinator field records who installed the view
+/// (diagnostics and merge arbitration).
+struct ViewId {
+  std::uint64_t seq = 0;
+  Address coordinator{};
+
+  friend bool operator==(const ViewId&, const ViewId&) = default;
+  friend auto operator<=>(const ViewId&, const ViewId&) = default;
+};
+
+std::string to_string(const Address& a);
+std::string to_string(const GroupId& g);
+std::string to_string(const ViewId& v);
+
+}  // namespace horus
+
+template <>
+struct std::hash<horus::Address> {
+  std::size_t operator()(const horus::Address& a) const noexcept {
+    return std::hash<std::uint64_t>{}(a.id);
+  }
+};
+
+template <>
+struct std::hash<horus::GroupId> {
+  std::size_t operator()(const horus::GroupId& g) const noexcept {
+    return std::hash<std::uint64_t>{}(g.id);
+  }
+};

@@ -1,0 +1,67 @@
+#include "horus/core/view.hpp"
+
+#include <algorithm>
+
+namespace horus {
+
+std::string to_string(const Address& a) { return "ep" + std::to_string(a.id); }
+std::string to_string(const GroupId& g) { return "grp" + std::to_string(g.id); }
+std::string to_string(const ViewId& v) {
+  return "v" + std::to_string(v.seq) + "@" + to_string(v.coordinator);
+}
+
+std::optional<std::size_t> View::rank_of(const Address& a) const {
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (members_[i] == a) return i;
+  }
+  return std::nullopt;
+}
+
+View View::successor(const std::vector<Address>& failed,
+                     const std::vector<Address>& joined,
+                     const Address& installer) const {
+  std::vector<Address> next;
+  next.reserve(members_.size() + joined.size());
+  for (const Address& m : members_) {
+    if (std::find(failed.begin(), failed.end(), m) == failed.end()) {
+      next.push_back(m);
+    }
+  }
+  std::vector<Address> add = joined;
+  std::sort(add.begin(), add.end());
+  for (const Address& j : add) {
+    if (std::find(next.begin(), next.end(), j) == next.end()) next.push_back(j);
+  }
+  return View(ViewId{id_.seq + 1, installer}, std::move(next));
+}
+
+void View::encode(Writer& w) const {
+  w.u64(id_.seq);
+  w.u64(id_.coordinator.id);
+  w.varint(members_.size());
+  for (const Address& m : members_) w.u64(m.id);
+}
+
+View View::decode(Reader& r) {
+  ViewId id;
+  id.seq = r.u64();
+  id.coordinator = Address{r.u64()};
+  std::uint64_t n = r.varint();
+  if (n > 1'000'000) throw DecodeError("view too large");
+  std::vector<Address> members;
+  members.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) members.push_back(Address{r.u64()});
+  return View(id, std::move(members));
+}
+
+std::string View::to_string() const {
+  std::string out = horus::to_string(id_) + "[";
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (i != 0) out += ",";
+    out += horus::to_string(members_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace horus

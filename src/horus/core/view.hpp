@@ -1,0 +1,56 @@
+// Group views (Sections 3 and 5).
+//
+// A view is an ordered list of endpoint addresses: the members a process
+// believes it can communicate with. The order encodes seniority -- rank 0
+// is the oldest member, which is how the MBRSHIP layer elects the flush
+// coordinator "without exchange of messages".
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "horus/core/types.hpp"
+#include "horus/util/serialize.hpp"
+
+namespace horus {
+
+class View {
+ public:
+  View() = default;
+  View(ViewId id, std::vector<Address> members)
+      : id_(id), members_(std::move(members)) {}
+
+  [[nodiscard]] const ViewId& id() const { return id_; }
+  [[nodiscard]] const std::vector<Address>& members() const { return members_; }
+  [[nodiscard]] std::size_t size() const { return members_.size(); }
+  [[nodiscard]] bool empty() const { return members_.empty(); }
+
+  /// Rank of a member (0 = oldest); nullopt if not a member.
+  [[nodiscard]] std::optional<std::size_t> rank_of(const Address& a) const;
+  [[nodiscard]] bool contains(const Address& a) const { return rank_of(a).has_value(); }
+  [[nodiscard]] const Address& member(std::size_t rank) const { return members_.at(rank); }
+
+  /// The oldest member: flush coordinator under the paper's election rule.
+  [[nodiscard]] const Address& oldest() const { return members_.front(); }
+
+  /// Successor view: survivors keep their relative (seniority) order,
+  /// joiners are appended in sorted order, and the sequence number is
+  /// incremented. `installer` is recorded in the view id.
+  [[nodiscard]] View successor(const std::vector<Address>& failed,
+                               const std::vector<Address>& joined,
+                               const Address& installer) const;
+
+  void encode(Writer& w) const;
+  static View decode(Reader& r);
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const View&, const View&) = default;
+
+ private:
+  ViewId id_{};
+  std::vector<Address> members_;
+};
+
+}  // namespace horus

@@ -1,0 +1,75 @@
+// BMS: basic membership service -- Table 3's BMS row.
+//
+// The decomposed alternative to the monolithic MBRSHIP layer: BMS agrees
+// on views (joins, leaves, failure suspicions; coordinator = oldest
+// member) but runs NO flush: a new view is announced immediately, without
+// first reconciling in-flight messages. That yields *virtually
+// semi-synchronous* delivery (P8) and consistent views (P15) -- members
+// agree on the view sequence, but two members crossing a view change may
+// have delivered different message sets.
+//
+// Stacking VSS above BMS adds the missing message-reconciliation exchange
+// and upgrades the stack to full virtual synchrony (P9) -- the same
+// LEGO-composition story as everywhere else in Horus, applied to
+// membership itself ("in the past, our work on Isis was clouded by an
+// architecture in which protocols for group communication were 'mixed'
+// with protocols for membership agreement", Section 11).
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "horus/core/layer.hpp"
+#include "horus/layers/common.hpp"
+
+namespace horus::layers {
+
+class Bms final : public Layer {
+ public:
+  Bms();
+
+  const LayerInfo& info() const override { return info_; }
+  std::unique_ptr<LayerState> make_state(Group& g) override;
+  void down(Group& g, DownEvent& ev) override;
+  void up(Group& g, UpEvent& ev) override;
+  void dump(Group& g, std::string& out) const override;
+
+ private:
+  static constexpr std::uint64_t kData = 0;     ///< view-tagged cast
+  static constexpr std::uint64_t kOob = 1;      ///< subset send passthrough
+  static constexpr std::uint64_t kJoinReq = 2;
+  static constexpr std::uint64_t kLeaveReq = 3;
+  static constexpr std::uint64_t kViewCast = 4; ///< one-shot view announce
+  static constexpr std::uint64_t kFailReport = 5;
+  static constexpr std::uint64_t kMergeReq = 6;
+
+  enum class Phase { kJoining, kNormal, kLeft };
+
+  struct State final : LayerState {
+    Phase phase = Phase::kJoining;
+    std::set<Address> failed;
+    std::set<Address> joiners;
+    std::set<Address> leaving;
+    /// Merges force the successor seq above the absorbed view's.
+    std::uint64_t view_seq_floor = 0;
+    /// Casts tagged with future views, held until installed.
+    std::map<std::uint64_t, std::vector<std::pair<Address, CapturedMsg>>> future;
+    Bytes last_announce;
+    Address join_contact;
+    sim::TimerId join_timer = 0;
+    std::uint64_t views_installed = 0;
+  };
+
+  [[nodiscard]] Address self() const { return stack().address(); }
+  Address coordinator(Group& g, const State& st) const;
+  void bootstrap(Group& g, State& st);
+  void announce_new_view(Group& g, State& st);
+  void install(Group& g, State& st, ByteSpan bundle);
+  void send_ctl(Group& g, std::uint64_t kind, const Address& dst, ByteSpan payload);
+  void suspect(Group& g, State& st, const Address& who);
+  void handle_merge_req(Group& g, State& st, Reader r);
+
+  LayerInfo info_;
+};
+
+}  // namespace horus::layers

@@ -1,0 +1,200 @@
+#include "horus/layers/causal.hpp"
+
+#include <algorithm>
+
+namespace horus::layers {
+namespace {
+
+using props::Property;
+
+LayerInfo make_info() {
+  LayerInfo li;
+  li.name = "CAUSAL";
+  li.fields = {{"kind", 1}};
+  li.uses_var = true;  // the vector timestamp
+  li.spec.name = "CAUSAL";  // Table 3 calls this row ORDER(causal)
+  li.spec.requires_below = props::make_set(
+      {Property::kFifoUnicast, Property::kFifoMulticast,
+       Property::kVirtualSemiSync, Property::kVirtualSync,
+       Property::kConsistentViews});
+  li.spec.inherits = props::kAllProperties;
+  li.spec.provides =
+      props::make_set({Property::kCausal, Property::kCausalTimestamps});
+  li.spec.cost = 3;
+  return li;
+}
+
+void encode_vt(Writer& w, const std::vector<std::uint64_t>& vt) {
+  w.varint(vt.size());
+  for (auto v : vt) w.varint(v);
+}
+
+std::vector<std::uint64_t> decode_vt(Reader& r) {
+  std::uint64_t n = r.varint();
+  if (n > 100'000) throw DecodeError("vector timestamp too large");
+  std::vector<std::uint64_t> vt;
+  vt.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) vt.push_back(r.varint());
+  return vt;
+}
+
+}  // namespace
+
+Causal::Causal() : info_(make_info()) {}
+
+std::unique_ptr<LayerState> Causal::make_state(Group&) {
+  return std::make_unique<State>();
+}
+
+void Causal::down(Group& g, DownEvent& ev) {
+  State& st = state<State>(g);
+  switch (ev.type) {
+    case DownType::kCast: {
+      auto rank = g.view().rank_of(stack().address());
+      if (!rank.has_value()) {
+        pass_down(g, ev);  // not yet in a view; VS below will defer anyway
+        return;
+      }
+      if (st.vt.size() < g.view().size()) st.vt.resize(g.view().size(), 0);
+      ++st.vt[*rank];
+      Writer w;
+      encode_vt(w, st.vt);
+      std::uint64_t fields[] = {kData};
+      stack().push_header(ev.msg, *this, fields, w.data());
+      pass_down(g, ev);
+      return;
+    }
+    case DownType::kSend: {
+      std::uint64_t fields[] = {kPass};
+      stack().push_header(ev.msg, *this, fields, {});
+      pass_down(g, ev);
+      return;
+    }
+    default:
+      pass_down(g, ev);
+      return;
+  }
+}
+
+bool Causal::deliverable(const State& st, std::size_t sender_rank,
+                         const std::vector<std::uint64_t>& t) const {
+  for (std::size_t k = 0; k < t.size(); ++k) {
+    std::uint64_t mine = k < st.vt.size() ? st.vt[k] : 0;
+    if (k == sender_rank) {
+      if (t[k] != mine + 1) return false;
+    } else if (t[k] > mine) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Causal::deliver(Group& g, State& st, Held h) {
+  auto rank = g.view().rank_of(h.source);
+  if (st.vt.size() < h.vt.size()) st.vt.resize(h.vt.size(), 0);
+  if (rank.has_value() && *rank < h.vt.size()) st.vt[*rank] = h.vt[*rank];
+  ++st.delivered;
+  UpEvent out;
+  out.type = UpType::kCast;
+  out.source = h.source;
+  out.msg_id = h.msg_id;
+  out.msg = std::move(h.msg);
+  pass_up(g, out);
+}
+
+void Causal::drain(Group& g, State& st) {
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t i = 0; i < st.held.size(); ++i) {
+      auto rank = g.view().rank_of(st.held[i].source);
+      if (!rank.has_value()) continue;
+      if (deliverable(st, *rank, st.held[i].vt)) {
+        Held h = std::move(st.held[i]);
+        st.held.erase(st.held.begin() + static_cast<std::ptrdiff_t>(i));
+        deliver(g, st, std::move(h));
+        progressed = true;
+        break;
+      }
+    }
+  }
+}
+
+void Causal::up(Group& g, UpEvent& ev) {
+  State& st = state<State>(g);
+  switch (ev.type) {
+    case UpType::kCast:
+    case UpType::kSend: {
+      PoppedHeader h;
+      try {
+        h = stack().pop_header(ev.msg, *this);
+      } catch (const DecodeError&) {
+        return;
+      }
+      if (h.fields[0] == kPass) {
+        pass_up(g, ev);
+        return;
+      }
+      std::vector<std::uint64_t> t;
+      try {
+        Reader r(h.var);
+        t = decode_vt(r);
+      } catch (const DecodeError&) {
+        return;
+      }
+      auto rank = g.view().rank_of(ev.source);
+      if (!rank.has_value()) return;
+      if (ev.source == stack().address()) {
+        // Our own multicast looping back: its dependencies are exactly the
+        // messages we had delivered before casting, and our vt entry was
+        // already advanced at send time -- deliver immediately.
+        ++st.delivered;
+        pass_up(g, ev);
+        return;
+      }
+      Held held{ev.source, ev.msg_id, std::move(t), std::move(ev.msg)};
+      if (deliverable(st, *rank, held.vt)) {
+        deliver(g, st, std::move(held));
+        drain(g, st);
+      } else {
+        ++st.delayed;
+        st.held.push_back(std::move(held));
+      }
+      return;
+    }
+    case UpType::kView: {
+      // Virtual synchrony guarantees completeness of the old view's message
+      // set; anything still held is delivered (deterministically by source)
+      // before the view takes effect.
+      std::stable_sort(st.held.begin(), st.held.end(),
+                       [](const Held& a, const Held& b) {
+                         return a.source < b.source;
+                       });
+      for (Held& h : st.held) {
+        ++st.delivered;
+        UpEvent out;
+        out.type = UpType::kCast;
+        out.source = h.source;
+        out.msg_id = h.msg_id;
+        out.msg = std::move(h.msg);
+        pass_up(g, out);
+      }
+      st.held.clear();
+      st.vt.assign(ev.view.size(), 0);
+      pass_up(g, ev);
+      return;
+    }
+    default:
+      pass_up(g, ev);
+      return;
+  }
+}
+
+void Causal::dump(Group& g, std::string& out) const {
+  State& st = state<State>(const_cast<Group&>(g));
+  out += "CAUSAL: held=" + std::to_string(st.held.size()) +
+         " delivered=" + std::to_string(st.delivered) +
+         " delayed=" + std::to_string(st.delayed) + "\n";
+}
+
+}  // namespace horus::layers

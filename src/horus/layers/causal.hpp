@@ -1,0 +1,54 @@
+// CAUSAL: vector-timestamp causal ordering -- the paper's ORDER(causal)
+// layer (Table 3; Section 9 discusses why causal delivery matters for
+// asynchronous multi-process applications).
+//
+// Each cast carries the sender's vector timestamp; a receiver delays
+// delivery until every causally prior message has been delivered. Virtual
+// synchrony from below guarantees that, across a view change, the buffer
+// always drains: all old-view messages reach all survivors.
+#pragma once
+
+#include <vector>
+
+#include "horus/core/layer.hpp"
+#include "horus/layers/common.hpp"
+
+namespace horus::layers {
+
+class Causal final : public Layer {
+ public:
+  Causal();
+
+  const LayerInfo& info() const override { return info_; }
+  std::unique_ptr<LayerState> make_state(Group& g) override;
+  void down(Group& g, DownEvent& ev) override;
+  void up(Group& g, UpEvent& ev) override;
+  void dump(Group& g, std::string& out) const override;
+
+ private:
+  static constexpr std::uint64_t kData = 0;
+  static constexpr std::uint64_t kPass = 1;
+
+  struct Held {
+    Address source;
+    std::uint64_t msg_id = 0;
+    std::vector<std::uint64_t> vt;
+    Message msg;
+  };
+
+  struct State final : LayerState {
+    std::vector<std::uint64_t> vt;  ///< per view rank
+    std::vector<Held> held;
+    std::uint64_t delivered = 0;
+    std::uint64_t delayed = 0;  ///< messages that had to wait (stats)
+  };
+
+  bool deliverable(const State& st, std::size_t sender_rank,
+                   const std::vector<std::uint64_t>& t) const;
+  void drain(Group& g, State& st);
+  void deliver(Group& g, State& st, Held h);
+
+  LayerInfo info_;
+};
+
+}  // namespace horus::layers

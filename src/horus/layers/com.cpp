@@ -1,0 +1,121 @@
+#include "horus/layers/com.hpp"
+
+#include "horus/layers/common.hpp"
+#include "horus/util/crc32.hpp"
+#include "horus/util/log.hpp"
+
+namespace horus::layers {
+namespace {
+
+using props::Property;
+
+LayerInfo make_info(bool checksum) {
+  LayerInfo li;
+  li.name = checksum ? "COM" : "RAWCOM";
+  // The group id travels as the endpoint-level framing prefix, not a COM
+  // field (it must be readable before any stack-specific codec applies).
+  li.fields = {{"src", 64}, {"is_send", 1}};
+  li.is_transport = true;
+  li.spec.name = li.name;
+  li.spec.requires_below = props::make_set({Property::kBestEffort});
+  li.spec.inherits = props::kAllProperties;
+  li.spec.provides =
+      checksum ? props::make_set({Property::kGarblingDetect, Property::kSourceAddress})
+               : props::make_set({Property::kSourceAddress});
+  li.spec.cost = 1;
+  return li;
+}
+
+}  // namespace
+
+Com::Com(bool checksum) : checksum_(checksum), info_(make_info(checksum)) {}
+
+void Com::down(Group& g, DownEvent& ev) {
+  switch (ev.type) {
+    case DownType::kCast: {
+      // One serialization, one datagram per current view member. The sender
+      // is included: a member delivers its own multicasts.
+      Message m = ev.msg;
+      std::uint64_t fields[] = {stack().address().id, 0};
+      stack().push_header(m, *this, fields);
+      transmit(g, m, g.view().members());
+      return;
+    }
+    case DownType::kSend: {
+      Message m = ev.msg;
+      std::uint64_t fields[] = {stack().address().id, 1};
+      stack().push_header(m, *this, fields);
+      transmit(g, m, ev.dests);
+      return;
+    }
+    default:
+      // Control downcalls terminate here: there is nothing below COM but
+      // the raw transport.
+      return;
+  }
+}
+
+void Com::transmit(Group& g, const Message& msg,
+                   const std::vector<Address>& dests) {
+  // Serialize once, transmit the same datagram to every destination.
+  // Frame: [group id (endpoint demux prefix)][stack bytes][crc32?].
+  Writer w;
+  w.u64(g.gid().id);
+  w.raw(msg.to_wire(stack().region_bytes()));
+  Bytes wire = w.take();
+  if (checksum_) {
+    std::uint32_t crc = crc32(wire);
+    for (int i = 0; i < 4; ++i) {
+      wire.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+    }
+  }
+  std::size_t payload = msg.payload_size();
+  for (const Address& dst : dests) {
+    stack().transport_send_raw(dst, wire, payload);
+  }
+}
+
+void Com::up(Group& g, UpEvent& ev) { pass_up(g, ev); }
+
+void Com::raw_receive(Group& g, Address src,
+                      std::shared_ptr<const Bytes> datagram,
+                      std::size_t offset) {
+  std::size_t len = datagram->size();
+  if (checksum_) {
+    if (len < offset + 4) return;  // runt
+    std::uint32_t got = 0;
+    for (int i = 0; i < 4; ++i) {
+      got |= static_cast<std::uint32_t>((*datagram)[len - 4 + static_cast<std::size_t>(i)])
+             << (8 * i);
+    }
+    len -= 4;
+    // The checksum covers the whole frame, demux prefix included.
+    if (crc32(ByteSpan(*datagram).first(len)) != got) {
+      // Garbled in transit: drop silently (P10).
+      HLOG_DEBUG("COM") << "dropping garbled datagram from " << src.id;
+      return;
+    }
+  }
+  try {
+    Message m = Message::from_wire(std::move(datagram), stack().region_bytes(),
+                                   len, offset);
+    PoppedHeader h = stack().pop_header(m, *this);
+    Address claimed_src{h.fields[0]};
+    bool is_send = h.fields[1] != 0;
+    UpEvent ev;
+    ev.type = is_send ? UpType::kSend : UpType::kCast;
+    ev.source = claimed_src;
+    ev.msg = std::move(m);
+    pass_up(g, ev);
+  } catch (const DecodeError&) {
+    // Malformed datagram (should be rare with the checksum on): drop.
+    HLOG_DEBUG("COM") << "dropping malformed datagram from " << src.id;
+  }
+}
+
+void Com::dump(Group& g, std::string& out) const {
+  out += info_.name + ": view=" + g.view().to_string() +
+         (checksum_ ? " (crc32 trailer)\n" : " (no checksum)\n");
+}
+
+}  // namespace horus::layers

@@ -1,0 +1,49 @@
+// FRAG: fragmentation and reassembly of large messages (Section 7).
+//
+// "Typical networks have a limit on the size of messages they can
+//  transmit. When a user of the FRAG layer attempts to send a message that
+//  is larger than that maximum size, the FRAG layer splits the message into
+//  multiple fragments. On each fragment the FRAG layer pushes a boolean
+//  value that indicates whether it is the last one or not. The FRAG layer
+//  depends on FIFO ordering for reassembly."
+//
+// Small messages pass through untouched (one pushed bit, zero copies); the
+// fragmenting path serializes the message content once and slices it into
+// shared sub-ranges (still no per-fragment copying of payload bytes).
+#pragma once
+
+#include <map>
+
+#include "horus/core/layer.hpp"
+#include "horus/layers/common.hpp"
+
+namespace horus::layers {
+
+class Frag final : public Layer {
+ public:
+  Frag();
+
+  const LayerInfo& info() const override { return info_; }
+  std::unique_ptr<LayerState> make_state(Group& g) override;
+  void down(Group& g, DownEvent& ev) override;
+  void up(Group& g, UpEvent& ev) override;
+  void dump(Group& g, std::string& out) const override;
+
+ private:
+  struct Assembly {
+    Bytes acc;
+    bool poisoned = false;  ///< a fragment was lost; discard until next last
+  };
+  struct State final : LayerState {
+    /// Reassembly per (source, cast-vs-send stream).
+    std::map<std::pair<Address, bool>, Assembly> assembling;
+    std::uint64_t fragmented = 0;
+    std::uint64_t reassembled = 0;
+  };
+
+  [[nodiscard]] std::size_t threshold() const;
+
+  LayerInfo info_;
+};
+
+}  // namespace horus::layers

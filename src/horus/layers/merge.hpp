@@ -1,0 +1,48 @@
+// MERGE: automatic view merging after partitions heal (Table 3, P16;
+// Sections 5 and 9).
+//
+// Every coordinator remembers all addresses it has ever shared a view with.
+// Periodically it probes the ones missing from its current view; a probed
+// member that is alive replies with its own view. When the two views
+// differ, MERGE issues the merge downcall toward the other side's
+// coordinator and MBRSHIP's dominance rule decides which view absorbs
+// which. This heals partitions without any application involvement.
+#pragma once
+
+#include <set>
+
+#include "horus/core/layer.hpp"
+#include "horus/layers/common.hpp"
+
+namespace horus::layers {
+
+class Merge final : public Layer {
+ public:
+  Merge();
+
+  const LayerInfo& info() const override { return info_; }
+  std::unique_ptr<LayerState> make_state(Group& g) override;
+  void down(Group& g, DownEvent& ev) override;
+  void up(Group& g, UpEvent& ev) override;
+  void dump(Group& g, std::string& out) const override;
+
+ private:
+  static constexpr std::uint64_t kPass = 0;
+  static constexpr std::uint64_t kProbe = 1;
+  static constexpr std::uint64_t kProbeAck = 2;
+
+  struct State final : LayerState {
+    std::set<Address> known;  ///< everyone ever seen in a view
+    sim::TimerId probe_timer = 0;
+    std::uint64_t probes_sent = 0;
+    std::uint64_t merges_initiated = 0;
+  };
+
+  void arm(Group& g, State& st);
+  void probe_round(Group& g, State& st);
+  void send_ctrl(Group& g, std::uint64_t kind, const Address& dst);
+
+  LayerInfo info_;
+};
+
+}  // namespace horus::layers

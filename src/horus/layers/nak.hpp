@@ -1,0 +1,110 @@
+// NAK: reliable FIFO delivery via sequence numbers and negative
+// acknowledgements (Sections 2 and 7).
+//
+// "The NAK layer provides FIFO ordering of messages. For this it pushes a
+//  sequence number on each outgoing message, that the receiver can check.
+//  If the receiver detects message loss, it sends back a negative
+//  acknowledgement (NAK). The NAK layer buffers some messages for
+//  retransmission ... If not, it will send a place holder that will result
+//  in a LOST_MESSAGE event when received. Each endpoint will occasionally
+//  multicast its protocol status, so buffered messages may be flushed, and
+//  window-based flow control may be implemented. It also allows the
+//  detection of failures or disconnections (in case a status update is not
+//  received in time)."
+//
+// Streams: each sender has one multicast stream per group (stream 0) and
+// one unicast stream per destination (stream 1). Multicast streams are
+// scoped by an *epoch* (the view sequence number at send time) and restart
+// at 1 in each epoch, so that members joining in view v are not owed
+// messages from earlier views. Unicast streams are epoch-less, always start
+// at 1 per peer pair, and carry out-of-band control traffic for the layers
+// above (joins, flushes, merges); gaps are learned from the peers' status
+// transmission reports and repaired by NAKs like any other stream.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "horus/core/layer.hpp"
+#include "horus/layers/common.hpp"
+
+namespace horus::layers {
+
+class Nak final : public Layer {
+ public:
+  Nak();
+
+  const LayerInfo& info() const override { return info_; }
+  std::unique_ptr<LayerState> make_state(Group& g) override;
+  void down(Group& g, DownEvent& ev) override;
+  void up(Group& g, UpEvent& ev) override;
+  void dump(Group& g, std::string& out) const override;
+
+ private:
+  // Header kinds.
+  static constexpr std::uint64_t kData = 0;
+  static constexpr std::uint64_t kNakReq = 1;
+  static constexpr std::uint64_t kStatus = 2;
+  static constexpr std::uint64_t kPlaceholder = 3;
+
+  /// Inbound reassembly state for one (source, stream[, epoch]).
+  struct StreamIn {
+    std::uint64_t expected = 1;  ///< next seq to deliver
+    /// Out-of-order buffer; nullopt marks a placeholder (lost message).
+    std::map<std::uint64_t, std::optional<Message>> ooo;
+    std::uint64_t known_max = 0;  ///< highest seq known to exist
+  };
+
+  struct PeerState {
+    std::map<std::uint64_t, StreamIn> cast_in;  ///< keyed by epoch
+    StreamIn send_in;                           ///< unicast from peer
+    std::uint64_t send_out_seq = 0;             ///< my unicast stream to peer
+    std::map<std::uint64_t, CapturedMsg> send_buf;
+    std::uint64_t send_acked = 0;      ///< peer's ack of my unicast stream
+    std::uint64_t cast_acked = 0;      ///< peer's ack of my casts (cur epoch)
+    std::uint64_t cast_acked_epoch = 0;
+    std::uint64_t latest_epoch = 0;    ///< latest epoch seen from peer
+    sim::Time last_heard = 0;
+    bool suspected = false;
+  };
+
+  struct State final : LayerState {
+    std::map<Address, PeerState> peers;
+    std::uint64_t epoch = 0;          ///< my current outbound epoch
+    std::uint64_t cast_out_seq = 0;   ///< within current epoch
+    std::map<std::pair<std::uint64_t, std::uint64_t>, CapturedMsg> cast_buf;
+    std::deque<Message> pending;      ///< casts awaiting flow-control window
+    sim::TimerId status_timer = 0;
+    sim::TimerId scan_timer = 0;
+    std::uint64_t delivered_count = 0;
+    std::uint64_t retransmissions = 0;
+    std::uint64_t placeholders_sent = 0;
+  };
+
+  PeerState& peer(State& st, Group& g, const Address& a);
+  void ensure_epoch(Group& g, State& st);
+  void rearm_status(Group& g, State& st);
+  void rearm_scan(Group& g, State& st);
+  void send_cast_now(Group& g, State& st, Message msg);
+  void drain_pending(Group& g, State& st);
+  std::uint64_t min_cast_acked(Group& g, State& st) const;
+  void deliver_ready(Group& g, State& st, const Address& src, bool is_cast,
+                     std::uint64_t epoch, StreamIn& in);
+  void handle_data(Group& g, State& st, UpEvent& ev, std::uint64_t stream,
+                   std::uint64_t epoch, std::uint64_t seq, bool placeholder);
+  void handle_nakreq(Group& g, State& st, const Address& src, Reader r);
+  void handle_status(Group& g, State& st, const Address& src, Reader r);
+  void send_control(Group& g, const Address& dst, std::uint64_t kind,
+                    std::uint64_t stream, std::uint64_t epoch,
+                    std::uint64_t seq, ByteSpan payload);
+  void send_status(Group& g, State& st);
+  void scan_gaps(Group& g, State& st);
+  void nak_stream(Group& g, const Address& src, std::uint64_t stream,
+                  std::uint64_t epoch, const StreamIn& in);
+  void on_view(Group& g, State& st, const View& v);
+
+  LayerInfo info_;
+};
+
+}  // namespace horus::layers

@@ -1,0 +1,49 @@
+// NFRAG: fragmentation over an *unreliable* transport (Table 3's NFRAG
+// row: requires only best-effort delivery, provides P12).
+//
+// Unlike FRAG it cannot rely on FIFO ordering, so every fragment carries a
+// (message id, index, total) triple; messages reassemble from arbitrarily
+// reordered fragments, and incomplete messages are discarded after a
+// timeout (large messages stay best-effort, exactly what a stack without a
+// NAK layer asked for).
+#pragma once
+
+#include <map>
+
+#include "horus/core/layer.hpp"
+#include "horus/layers/common.hpp"
+
+namespace horus::layers {
+
+class Nfrag final : public Layer {
+ public:
+  Nfrag();
+
+  const LayerInfo& info() const override { return info_; }
+  std::unique_ptr<LayerState> make_state(Group& g) override;
+  void down(Group& g, DownEvent& ev) override;
+  void up(Group& g, UpEvent& ev) override;
+  void dump(Group& g, std::string& out) const override;
+
+ private:
+  struct Assembly {
+    std::vector<Bytes> slots;
+    std::size_t have = 0;
+    bool is_send = false;
+    sim::Time started = 0;
+  };
+  struct State final : LayerState {
+    std::uint64_t next_msgid = 0;
+    std::map<std::pair<Address, std::uint64_t>, Assembly> assembling;
+    sim::TimerId gc_timer = 0;
+    std::uint64_t reassembled = 0;
+    std::uint64_t expired = 0;
+  };
+
+  [[nodiscard]] std::size_t threshold() const;
+  void arm_gc(Group& g, State& st);
+
+  LayerInfo info_;
+};
+
+}  // namespace horus::layers

@@ -1,0 +1,60 @@
+// NNAK: reliable FIFO *unicast* (Table 3's NNAK row -- provides P3 only).
+//
+// A lighter sibling of NAK for stacks that need dependable point-to-point
+// channels but are happy with best-effort multicast: casts pass through
+// untouched, subset sends get per-destination sequence numbers, negative
+// acknowledgements and retransmission.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "horus/core/layer.hpp"
+#include "horus/layers/common.hpp"
+
+namespace horus::layers {
+
+class Nnak final : public Layer {
+ public:
+  Nnak();
+
+  const LayerInfo& info() const override { return info_; }
+  std::unique_ptr<LayerState> make_state(Group& g) override;
+  void down(Group& g, DownEvent& ev) override;
+  void up(Group& g, UpEvent& ev) override;
+  void dump(Group& g, std::string& out) const override;
+
+ private:
+  static constexpr std::uint64_t kPassCast = 0;
+  static constexpr std::uint64_t kData = 1;
+  static constexpr std::uint64_t kNakReq = 2;
+  static constexpr std::uint64_t kStatus = 3;
+  static constexpr std::uint64_t kPlaceholder = 4;
+
+  struct PeerState {
+    // inbound
+    std::uint64_t expected = 1;
+    std::map<std::uint64_t, std::optional<Message>> ooo;
+    std::uint64_t known_max = 0;
+    // outbound
+    std::uint64_t out_seq = 0;
+    std::map<std::uint64_t, CapturedMsg> buf;
+  };
+
+  struct State final : LayerState {
+    std::map<Address, PeerState> peers;
+    sim::TimerId timer = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t retransmissions = 0;
+  };
+
+  void tick(Group& g, State& st);
+  void arm(Group& g, State& st);
+  void send_control(Group& g, const Address& dst, std::uint64_t kind,
+                    std::uint64_t seq, ByteSpan payload);
+  void drain(Group& g, State& st, const Address& src, PeerState& p);
+
+  LayerInfo info_;
+};
+
+}  // namespace horus::layers

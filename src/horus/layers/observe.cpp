@@ -1,0 +1,124 @@
+#include "horus/layers/observe.hpp"
+
+namespace horus::layers {
+namespace {
+
+LayerInfo passthrough_info(const char* name) {
+  LayerInfo li;
+  li.name = name;
+  li.spec.name = name;
+  li.spec.inherits = props::kAllProperties;
+  li.spec.cost = 1;
+  return li;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// LOG
+// ---------------------------------------------------------------------------
+
+LogLayer::LogLayer() : info_(passthrough_info("LOG")) {
+  info_.skip_data_down = true;  // only deliveries are journaled
+}
+
+std::unique_ptr<LayerState> LogLayer::make_state(Group&) {
+  auto st = std::make_unique<State>();
+  st->store =
+      std::static_pointer_cast<LogStore>(stack().config().log_store_erased);
+  if (!st->store) st->store = std::make_shared<LogStore>();
+  return st;
+}
+
+void LogLayer::up(Group& g, UpEvent& ev) {
+  if (ev.type == UpType::kCast) {
+    State& st = state<State>(g);
+    st.store->append(stack().address(), g.gid(),
+                     LogStore::Entry{ev.source, ev.msg_id, ev.msg.payload_bytes()});
+    ++st.journaled;
+  }
+  pass_up(g, ev);
+}
+
+void LogLayer::dump(Group& g, std::string& out) const {
+  State& st = state<State>(const_cast<Group&>(g));
+  out += "LOG: journaled=" + std::to_string(st.journaled) +
+         " store_total=" + std::to_string(st.store->total_entries()) + "\n";
+}
+
+// ---------------------------------------------------------------------------
+// TRACE
+// ---------------------------------------------------------------------------
+
+Trace::Trace() : info_(passthrough_info("TRACE")) {}
+
+std::unique_ptr<LayerState> Trace::make_state(Group&) {
+  return std::make_unique<State>();
+}
+
+void Trace::note(State& st, std::string what) {
+  ++st.counts[what];
+  st.recent.push_back(std::move(what));
+  if (st.recent.size() > 32) st.recent.pop_front();
+}
+
+void Trace::down(Group& g, DownEvent& ev) {
+  note(state<State>(g), std::string("down:") + to_string(ev.type));
+  pass_down(g, ev);
+}
+
+void Trace::up(Group& g, UpEvent& ev) {
+  note(state<State>(g), std::string("up:") + to_string(ev.type));
+  pass_up(g, ev);
+}
+
+void Trace::dump(Group& g, std::string& out) const {
+  State& st = state<State>(const_cast<Group&>(g));
+  out += "TRACE:";
+  for (const auto& [what, n] : st.counts) {
+    out += " " + what + "=" + std::to_string(n);
+  }
+  out += "\n";
+}
+
+// ---------------------------------------------------------------------------
+// ACCOUNT
+// ---------------------------------------------------------------------------
+
+Account::Account() : info_(passthrough_info("ACCOUNT")) {}
+
+std::unique_ptr<LayerState> Account::make_state(Group&) {
+  return std::make_unique<State>();
+}
+
+void Account::down(Group& g, DownEvent& ev) {
+  if (ev.type == DownType::kCast || ev.type == DownType::kSend) {
+    State& st = state<State>(g);
+    ++st.sent.messages;
+    st.sent.bytes += ev.msg.payload_size();
+  }
+  pass_down(g, ev);
+}
+
+void Account::up(Group& g, UpEvent& ev) {
+  if (ev.type == UpType::kCast || ev.type == UpType::kSend) {
+    State& st = state<State>(g);
+    Usage& u = st.received_from[ev.source];
+    ++u.messages;
+    u.bytes += ev.msg.payload_size();
+  }
+  pass_up(g, ev);
+}
+
+void Account::dump(Group& g, std::string& out) const {
+  State& st = state<State>(const_cast<Group&>(g));
+  out += "ACCOUNT: sent=" + std::to_string(st.sent.messages) + "msg/" +
+         std::to_string(st.sent.bytes) + "B";
+  for (const auto& [who, u] : st.received_from) {
+    out += " " + to_string(who) + "=" + std::to_string(u.messages) + "msg/" +
+           std::to_string(u.bytes) + "B";
+  }
+  out += "\n";
+}
+
+}  // namespace horus::layers

@@ -1,0 +1,54 @@
+// PINWHEEL: rotating-token stability, the alternative to STABLE's
+// all-to-all gossip (Sections 9/10: "an application can decide ... whether
+// STABLE or PINWHEEL will be optimal").
+//
+// A token circulates around the view ring carrying the full acknowledgement
+// matrix. Each member merges its own ack vector into the token, learns
+// everyone else's rows from it, and forwards it to the next rank after a
+// short hold. Traffic is O(1) messages per interval instead of O(n)
+// gossip casts, at the cost of higher latency-to-stability -- exactly the
+// trade-off bench_stability measures.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "horus/core/layer.hpp"
+#include "horus/layers/common.hpp"
+
+namespace horus::layers {
+
+class Pinwheel final : public Layer {
+ public:
+  Pinwheel();
+
+  const LayerInfo& info() const override { return info_; }
+  std::unique_ptr<LayerState> make_state(Group& g) override;
+  void down(Group& g, DownEvent& ev) override;
+  void up(Group& g, UpEvent& ev) override;
+  void dump(Group& g, std::string& out) const override;
+
+ private:
+  static constexpr std::uint64_t kPass = 0;
+  static constexpr std::uint64_t kTokenKind = 1;
+
+  struct State final : LayerState {
+    std::map<Address, std::uint64_t> own;
+    std::map<Address, std::set<std::uint64_t>> pending;
+    std::map<Address, std::map<Address, std::uint64_t>> rows;
+    bool holding = false;
+    sim::TimerId hold_timer = 0;
+    sim::TimerId watchdog = 0;
+    sim::Time last_token = 0;
+    std::uint64_t rotations = 0;
+  };
+
+  void record_ack(State& st, const Address& source, std::uint64_t id);
+  void forward_token(Group& g, State& st);
+  void emit_matrix(Group& g, State& st);
+  void arm_watchdog(Group& g, State& st);
+
+  LayerInfo info_;
+};
+
+}  // namespace horus::layers

@@ -1,0 +1,184 @@
+#include "horus/layers/registry.hpp"
+
+#include <functional>
+#include <map>
+#include <stdexcept>
+
+#include "horus/layers/com.hpp"
+#include "horus/layers/causal.hpp"
+#include "horus/layers/frag.hpp"
+#include "horus/layers/fused.hpp"
+#include "horus/layers/mbrship.hpp"
+#include "horus/layers/merge.hpp"
+#include "horus/layers/nak.hpp"
+#include "horus/layers/nfrag.hpp"
+#include "horus/layers/nnak.hpp"
+#include "horus/layers/pinwheel.hpp"
+#include "horus/layers/safe.hpp"
+#include "horus/layers/stable.hpp"
+#include "horus/layers/total.hpp"
+#include "horus/layers/transform.hpp"
+#include "horus/layers/bms.hpp"
+#include "horus/layers/vss.hpp"
+#include "horus/layers/observe.hpp"
+
+namespace horus::layers {
+namespace {
+
+/// NOP: declares itself skippable for data -- the Section 10 "skip layers
+/// that take no action" fast path exercises it for free.
+class Nop final : public Layer {
+ public:
+  Nop() {
+    info_.name = "NOP";
+    info_.spec.name = "NOP";
+    info_.spec.inherits = props::kAllProperties;
+    info_.skip_data_down = true;
+    info_.skip_data_up = true;
+  }
+  const LayerInfo& info() const override { return info_; }
+
+ private:
+  LayerInfo info_;
+};
+
+/// PASS: a no-op that is NOT skippable; measures the raw cost of one layer
+/// boundary crossing (Section 10, problem 1).
+class Pass final : public Layer {
+ public:
+  Pass() {
+    info_.name = "PASS";
+    info_.spec.name = "PASS";
+    info_.spec.inherits = props::kAllProperties;
+  }
+  const LayerInfo& info() const override { return info_; }
+
+ private:
+  LayerInfo info_;
+};
+
+/// TAG: pushes and pops one 32-bit field; measures header push/pop cost
+/// (Section 10, problem 3) per layer.
+class Tag final : public Layer {
+ public:
+  Tag() {
+    info_.name = "TAG";
+    info_.fields = {{"tag", 32}};
+    info_.spec.name = "TAG";
+    info_.spec.inherits = props::kAllProperties;
+  }
+  const LayerInfo& info() const override { return info_; }
+  void down(Group& g, DownEvent& ev) override {
+    if (ev.type == DownType::kCast || ev.type == DownType::kSend) {
+      std::uint64_t fields[] = {0xda7a};
+      stack().push_header(ev.msg, *this, fields);
+    }
+    pass_down(g, ev);
+  }
+  void up(Group& g, UpEvent& ev) override {
+    if (ev.type == UpType::kCast || ev.type == UpType::kSend) {
+      try {
+        (void)stack().pop_header(ev.msg, *this);
+      } catch (const DecodeError&) {
+        return;
+      }
+    }
+    pass_up(g, ev);
+  }
+
+ private:
+  LayerInfo info_;
+};
+
+using Factory = std::function<std::unique_ptr<Layer>()>;
+
+const std::vector<std::pair<std::string, Factory>>& registry() {
+  static const std::vector<std::pair<std::string, Factory>> reg = {
+      {"COM", [] { return std::make_unique<Com>(true); }},
+      {"RAWCOM", [] { return std::make_unique<Com>(false); }},
+      {"NAK", [] { return std::make_unique<Nak>(); }},
+      {"NNAK", [] { return std::make_unique<Nnak>(); }},
+      {"FRAG", [] { return std::make_unique<Frag>(); }},
+      {"NFRAG", [] { return std::make_unique<Nfrag>(); }},
+      {"MBRSHIP", [] { return std::make_unique<Mbrship>(); }},
+      {"BMS", [] { return std::make_unique<Bms>(); }},
+      {"VSS", [] { return std::make_unique<Vss>(); }},
+      {"TOTAL", [] { return std::make_unique<Total>(); }},
+      {"CAUSAL", [] { return std::make_unique<Causal>(); }},
+      {"STABLE", [] { return std::make_unique<Stable>(); }},
+      {"PINWHEEL", [] { return std::make_unique<Pinwheel>(); }},
+      {"SAFE", [] { return std::make_unique<Safe>(); }},
+      {"MERGE", [] { return std::make_unique<Merge>(); }},
+      {"CHKSUM", [] { return std::make_unique<Chksum>(); }},
+      {"SIGN", [] { return std::make_unique<Sign>(); }},
+      {"ENCRYPT", [] { return std::make_unique<Encrypt>(); }},
+      {"COMPRESS", [] { return std::make_unique<Compress>(); }},
+      {"FUSED", [] { return std::make_unique<Fused>(); }},
+      {"LOG", [] { return std::make_unique<LogLayer>(); }},
+      {"TRACE", [] { return std::make_unique<Trace>(); }},
+      {"ACCOUNT", [] { return std::make_unique<Account>(); }},
+      {"NOP", [] { return std::make_unique<Nop>(); }},
+      {"PASS", [] { return std::make_unique<Pass>(); }},
+      {"TAG", [] { return std::make_unique<Tag>(); }},
+  };
+  return reg;
+}
+
+}  // namespace
+
+std::unique_ptr<Layer> make_layer(const std::string& name) {
+  for (const auto& [n, f] : registry()) {
+    if (n == name) return f();
+  }
+  throw std::invalid_argument("unknown protocol layer: " + name);
+}
+
+std::vector<std::string> split_spec(const std::string& spec) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t colon = spec.find(':', start);
+    if (colon == std::string::npos) {
+      parts.push_back(spec.substr(start));
+      break;
+    }
+    parts.push_back(spec.substr(start, colon - start));
+    start = colon + 1;
+  }
+  return parts;
+}
+
+std::vector<std::unique_ptr<Layer>> make_stack(const std::string& spec) {
+  std::vector<std::unique_ptr<Layer>> out;
+  for (const std::string& name : split_spec(spec)) {
+    if (name.empty()) throw std::invalid_argument("empty layer name in: " + spec);
+    out.push_back(make_layer(name));
+  }
+  return out;
+}
+
+const std::vector<std::string>& layer_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> v;
+    for (const auto& [n, f] : registry()) v.push_back(n);
+    return v;
+  }();
+  return names;
+}
+
+props::LayerSpec layer_spec(const std::string& name) {
+  return make_layer(name)->info().spec;
+}
+
+std::vector<props::LayerSpec> all_layer_specs() {
+  std::vector<props::LayerSpec> out;
+  for (const auto& [n, f] : registry()) {
+    props::LayerSpec s = f()->info().spec;
+    // Disambiguate variants whose Table 3 name differs from the registry
+    // name (ORDER(causal), ORDER(safe)): keep the registry name searchable.
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace horus::layers

@@ -1,0 +1,35 @@
+// Run-time layer registry: stacks are described by colon-separated spec
+// strings ("TOTAL:MBRSHIP:FRAG:NAK:COM") and instantiated at endpoint
+// creation time -- the paper's run-time LEGO composition.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "horus/core/layer.hpp"
+#include "horus/properties/algebra.hpp"
+
+namespace horus::layers {
+
+/// Instantiate one layer by name. Throws std::invalid_argument for an
+/// unknown name.
+std::unique_ptr<Layer> make_layer(const std::string& name);
+
+/// Instantiate a whole stack from a spec string, top to bottom.
+std::vector<std::unique_ptr<Layer>> make_stack(const std::string& spec);
+
+/// All registered layer names (stable order: roughly bottom to top roles).
+const std::vector<std::string>& layer_names();
+
+/// The Table 3 property row for a named layer.
+props::LayerSpec layer_spec(const std::string& name);
+
+/// All Table 3 rows, in registry order (drives the bench that reprints the
+/// paper's table and the minimal-stack search library).
+std::vector<props::LayerSpec> all_layer_specs();
+
+/// Split "A:B:C" into {"A","B","C"}.
+std::vector<std::string> split_spec(const std::string& spec);
+
+}  // namespace horus::layers

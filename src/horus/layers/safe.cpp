@@ -1,0 +1,107 @@
+#include "horus/layers/safe.hpp"
+
+namespace horus::layers {
+namespace {
+
+using props::Property;
+
+LayerInfo make_info() {
+  LayerInfo li;
+  li.name = "SAFE";
+  li.fields = {};  // pure observer: no header of its own
+  li.spec.name = "SAFE";  // Table 3 calls this row ORDER(safe)
+  li.spec.requires_below = props::make_set(
+      {Property::kFifoUnicast, Property::kFifoMulticast,
+       Property::kVirtualSemiSync, Property::kVirtualSync,
+       Property::kStabilityInfo, Property::kConsistentViews});
+  li.spec.inherits = props::kAllProperties;
+  li.spec.provides = props::make_set({Property::kSafe});
+  li.spec.cost = 2;
+  li.skip_data_down = true;  // casts/sends pass down untouched
+  return li;
+}
+
+}  // namespace
+
+Safe::Safe() : info_(make_info()) {}
+
+std::unique_ptr<LayerState> Safe::make_state(Group&) {
+  return std::make_unique<State>();
+}
+
+void Safe::release(Group& g, State& st, const Address& sender,
+                   std::uint64_t upto) {
+  auto hit = st.held.find(sender);
+  if (hit == st.held.end()) return;
+  auto& msgs = hit->second;
+  while (!msgs.empty() && msgs.begin()->first <= upto) {
+    Held h = std::move(msgs.begin()->second);
+    msgs.erase(msgs.begin());
+    ++st.delivered;
+    UpEvent out;
+    out.type = UpType::kCast;
+    out.source = sender;
+    out.msg_id = h.msg_id;
+    out.msg = std::move(h.msg);
+    pass_up(g, out);
+  }
+}
+
+void Safe::up(Group& g, UpEvent& ev) {
+  State& st = state<State>(g);
+  switch (ev.type) {
+    case UpType::kCast: {
+      // Buffer, and tell the stability layer below that this message has
+      // been "processed" at this member (SAFE is the application from the
+      // stability layer's point of view).
+      std::uint64_t id = ev.msg_id;
+      Address src = ev.source;
+      st.held[src].emplace(id, Held{id, std::move(ev.msg)});
+      DownEvent ack;
+      ack.type = DownType::kAck;
+      ack.msg_source = src;
+      ack.msg_id = id;
+      pass_down(g, ack);
+      return;
+    }
+    case UpType::kStable: {
+      std::vector<std::uint64_t> prefix = ev.stability.stable_prefix();
+      for (std::size_t j = 0; j < ev.stability.view.size(); ++j) {
+        release(g, st, ev.stability.view.member(j), prefix[j]);
+      }
+      pass_up(g, ev);
+      return;
+    }
+    case UpType::kView: {
+      // All buffered old-view messages are stable among the survivors by
+      // virtual synchrony: release everything, deterministically by sender.
+      for (auto& [sender, msgs] : st.held) {
+        for (auto& [id, h] : msgs) {
+          ++st.delivered;
+          UpEvent out;
+          out.type = UpType::kCast;
+          out.source = sender;
+          out.msg_id = h.msg_id;
+          out.msg = std::move(h.msg);
+          pass_up(g, out);
+        }
+      }
+      st.held.clear();
+      pass_up(g, ev);
+      return;
+    }
+    default:
+      pass_up(g, ev);
+      return;
+  }
+}
+
+void Safe::dump(Group& g, std::string& out) const {
+  State& st = state<State>(const_cast<Group&>(g));
+  std::size_t held = 0;
+  for (const auto& [s, m] : st.held) held += m.size();
+  out += "SAFE: held=" + std::to_string(held) +
+         " delivered=" + std::to_string(st.delivered) + "\n";
+}
+
+}  // namespace horus::layers

@@ -1,0 +1,46 @@
+// SAFE: safe delivery -- the paper's ORDER(safe) layer (Table 3, property
+// P7). A message is delivered "safely" only once every surviving view
+// member is known to have received it.
+//
+// SAFE composes with a stability layer below it (STABLE or PINWHEEL): it
+// plays the role of the application toward that layer, issuing the ack
+// downcall as soon as a message arrives, buffering the message, and
+// releasing it upward when the stability matrix shows the message stable at
+// every member. At a view change, virtual synchrony makes every buffered
+// old-view message stable among the survivors by construction, so the
+// buffer is flushed before the view is announced.
+#pragma once
+
+#include <map>
+
+#include "horus/core/layer.hpp"
+#include "horus/layers/common.hpp"
+
+namespace horus::layers {
+
+class Safe final : public Layer {
+ public:
+  Safe();
+
+  const LayerInfo& info() const override { return info_; }
+  std::unique_ptr<LayerState> make_state(Group& g) override;
+  void up(Group& g, UpEvent& ev) override;
+  void dump(Group& g, std::string& out) const override;
+
+ private:
+  struct Held {
+    std::uint64_t msg_id = 0;
+    Message msg;
+  };
+  struct State final : LayerState {
+    /// Per sender: messages awaiting stability, keyed by msg id.
+    std::map<Address, std::map<std::uint64_t, Held>> held;
+    std::uint64_t delivered = 0;
+  };
+
+  void release(Group& g, State& st, const Address& sender, std::uint64_t upto);
+
+  LayerInfo info_;
+};
+
+}  // namespace horus::layers

@@ -1,0 +1,57 @@
+// STABLE: end-to-end message stability (Section 9).
+//
+// "Horus provides a downcall, horus_ack(m), with which the application
+//  process informs Horus when it has processed the message m. Eventually,
+//  this information propagates back to the sender ... It is reported using
+//  a STABLE upcall. The upcall contains detailed information about the
+//  stability of the messages that a process sent, or received, in the form
+//  of a so-called stability matrix. ... The stability matrix thus reports
+//  a property that is completely defined by the application layer."
+//
+// STABLE gossips each member's acknowledgement vector over the group and
+// assembles the matrix; the semantics of an "ack" belong entirely to the
+// application (displayed, logged to disk, safe to delete, ...).
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "horus/core/layer.hpp"
+#include "horus/layers/common.hpp"
+
+namespace horus::layers {
+
+class Stable final : public Layer {
+ public:
+  Stable();
+
+  const LayerInfo& info() const override { return info_; }
+  std::unique_ptr<LayerState> make_state(Group& g) override;
+  void down(Group& g, DownEvent& ev) override;
+  void up(Group& g, UpEvent& ev) override;
+  void dump(Group& g, std::string& out) const override;
+
+ private:
+  static constexpr std::uint64_t kPass = 0;
+  static constexpr std::uint64_t kGossipKind = 1;
+
+  struct State final : LayerState {
+    /// My contiguous ack prefix per sender, and out-of-order acks waiting
+    /// to join the prefix.
+    std::map<Address, std::uint64_t> own;
+    std::map<Address, std::set<std::uint64_t>> pending;
+    /// Everyone's gossiped ack vectors (including my own row).
+    std::map<Address, std::map<Address, std::uint64_t>> rows;
+    sim::TimerId gossip_timer = 0;
+    std::uint64_t upcalls = 0;
+  };
+
+  void record_ack(State& st, const Address& source, std::uint64_t id);
+  void emit_matrix(Group& g, State& st);
+  void arm(Group& g, State& st);
+  void send_gossip(Group& g, State& st);
+
+  LayerInfo info_;
+};
+
+}  // namespace horus::layers

@@ -1,0 +1,265 @@
+#include "horus/layers/total.hpp"
+
+#include <algorithm>
+
+namespace horus::layers {
+namespace {
+
+using props::Property;
+
+LayerInfo make_info() {
+  LayerInfo li;
+  li.name = "TOTAL";
+  li.fields = {{"kind", 2}, {"gseq", 32}};
+  li.spec.name = li.name;
+  li.spec.requires_below = props::make_set(
+      {Property::kFifoUnicast, Property::kVirtualSemiSync,
+       Property::kVirtualSync, Property::kConsistentViews});
+  li.spec.inherits = props::kAllProperties;
+  li.spec.provides = props::make_set({Property::kTotalOrder});
+  li.spec.cost = 4;
+  return li;
+}
+
+}  // namespace
+
+Total::Total() : info_(make_info()) {}
+
+std::unique_ptr<LayerState> Total::make_state(Group&) {
+  auto st = std::make_unique<State>();
+  // Until the first view arrives we behave as a singleton holder.
+  st->have_token = true;
+  return st;
+}
+
+void Total::down(Group& g, DownEvent& ev) {
+  switch (ev.type) {
+    case DownType::kCast: {
+      State& st = state<State>(g);
+      st.pending.push_back(std::move(ev.msg));
+      if (st.have_token) drain_token(g, st);
+      return;
+    }
+    case DownType::kSend: {
+      std::uint64_t fields[] = {kPass, 0};
+      stack().push_header(ev.msg, *this, fields);
+      pass_down(g, ev);
+      return;
+    }
+    default:
+      pass_down(g, ev);
+      return;
+  }
+}
+
+void Total::drain_token(Group& g, State& st) {
+  while (!st.pending.empty()) {
+    Message m = std::move(st.pending.front());
+    st.pending.erase(st.pending.begin());
+    std::uint64_t fields[] = {kOrdered, st.next_stamp++};
+    stack().push_header(m, *this, fields);
+    DownEvent out;
+    out.type = DownType::kCast;
+    out.msg = std::move(m);
+    pass_down(g, out);
+  }
+  if (g.view().size() > 1) pass_token(g, st);
+}
+
+void Total::pass_token(Group& g, State& st) {
+  auto my_rank = g.view().rank_of(stack().address());
+  if (!my_rank.has_value() || g.view().size() <= 1) return;
+  stack().cancel(st.idle_timer);
+  st.idle_timer = 0;
+  st.have_token = false;
+  ++st.tokens_passed;
+  const Address& next = g.view().member((*my_rank + 1) % g.view().size());
+  Writer w;
+  w.varint(g.view().id().seq);
+  w.varint(st.next_stamp);
+  Message m = Message::from_payload(w.take());
+  std::uint64_t fields[] = {kToken, 0};
+  stack().push_header(m, *this, fields);
+  DownEvent out;
+  out.type = DownType::kSend;
+  out.dests = {next};
+  out.msg = std::move(m);
+  pass_down(g, out);
+}
+
+void Total::schedule_idle_pass(Group& g, State& st) {
+  if (st.idle_timer != 0 || g.view().size() <= 1) return;
+  st.idle_timer = stack().schedule(
+      g.gid(), stack().config().token_idle_delay, [this](Group& gg) {
+        State& s2 = state<State>(gg);
+        s2.idle_timer = 0;
+        if (!s2.have_token) return;
+        if (!s2.pending.empty()) {
+          drain_token(gg, s2);
+        } else {
+          pass_token(gg, s2);
+        }
+      });
+}
+
+void Total::up(Group& g, UpEvent& ev) {
+  State& st = state<State>(g);
+  switch (ev.type) {
+    case UpType::kCast:
+    case UpType::kSend: {
+      PoppedHeader h;
+      try {
+        h = stack().pop_header(ev.msg, *this);
+      } catch (const DecodeError&) {
+        return;
+      }
+      std::uint64_t kind = h.fields[0];
+      std::uint64_t gseq = h.fields[1];
+      switch (kind) {
+        case kOrdered:
+          st.ordered.emplace(
+              gseq, Buffered{ev.source, ev.msg_id, std::move(ev.msg)});
+          deliver_in_order(g, st);
+          return;
+        case kUnordered:
+          st.unordered.emplace_back(
+              ev.source, Buffered{ev.source, ev.msg_id, std::move(ev.msg)});
+          return;
+        case kToken: {
+          try {
+            Reader r = ev.msg.reader();
+            std::uint64_t vseq = r.varint();
+            std::uint64_t stamp = r.varint();
+            if (vseq < g.view().id().seq) return;  // stale token: let it die
+            if (vseq > g.view().id().seq) {
+              // Token for a view we have not installed yet (its first
+              // holder installed before us): hold it, claim it at install.
+              st.pending_token_view = vseq;
+              st.pending_token_stamp = stamp;
+              return;
+            }
+            st.have_token = true;
+            st.next_stamp = std::max(st.next_stamp, stamp);
+            if (!st.pending.empty()) {
+              drain_token(g, st);
+            } else {
+              schedule_idle_pass(g, st);
+            }
+          } catch (const DecodeError&) {
+          }
+          return;
+        }
+        case kPass:
+        default:
+          pass_up(g, ev);
+          return;
+      }
+    }
+    case UpType::kFlush: {
+      // Cast everything that is still waiting for the token; MBRSHIP logs
+      // these into the old view's message set. They are buffered at the
+      // receivers and delivered in deterministic order at the view change.
+      std::vector<Message> pend = std::move(st.pending);
+      st.pending.clear();
+      for (Message& m : pend) {
+        std::uint64_t fields[] = {kUnordered, 0};
+        stack().push_header(m, *this, fields);
+        DownEvent out;
+        out.type = DownType::kCast;
+        out.msg = std::move(m);
+        pass_down(g, out);
+      }
+      st.have_token = false;  // the old token is dead either way
+      pass_up(g, ev);
+      return;
+    }
+    case UpType::kView:
+      on_view(g, st, ev);
+      return;
+    default:
+      pass_up(g, ev);
+      return;
+  }
+}
+
+void Total::deliver_in_order(Group& g, State& st) {
+  while (true) {
+    auto it = st.ordered.find(st.next_deliver);
+    if (it == st.ordered.end()) return;
+    Buffered b = std::move(it->second);
+    st.ordered.erase(it);
+    ++st.next_deliver;
+    ++st.delivered;
+    UpEvent out;
+    out.type = UpType::kCast;
+    out.source = b.source;
+    out.msg_id = b.msg_id;
+    out.msg = std::move(b.msg);
+    pass_up(g, out);
+  }
+}
+
+void Total::on_view(Group& g, State& st, UpEvent& ev) {
+  // 1. Remaining stamped messages: all survivors hold the same set (virtual
+  //    synchrony), so delivering in gseq order -- skipping gaps, which are
+  //    identical everywhere -- is deterministic.
+  for (auto& [gseq, b] : st.ordered) {
+    ++st.delivered;
+    UpEvent out;
+    out.type = UpType::kCast;
+    out.source = b.source;
+    out.msg_id = b.msg_id;
+    out.msg = std::move(b.msg);
+    pass_up(g, out);
+  }
+  st.ordered.clear();
+  // 2. Flush-window (unordered) messages: "a deterministic order can easily
+  //    be constructed (e.g., messages are delivered in the order of the
+  //    rank of the source)". Stable-sort by source; per-source order is the
+  //    FIFO arrival order, identical at every survivor.
+  std::stable_sort(st.unordered.begin(), st.unordered.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (auto& [src, b] : st.unordered) {
+    ++st.delivered;
+    UpEvent out;
+    out.type = UpType::kCast;
+    out.source = b.source;
+    out.msg_id = b.msg_id;
+    out.msg = std::move(b.msg);
+    pass_up(g, out);
+  }
+  st.unordered.clear();
+  // 3. Reset: "another deterministic rule decides who the first token
+  //    holder in this view is (e.g., the lowest ranked member)".
+  st.next_stamp = 1;
+  st.next_deliver = 1;
+  st.have_token = ev.view.rank_of(stack().address()) == 0u;
+  if (st.pending_token_view == ev.view.id().seq) {
+    // The new view's token already reached us before the install did.
+    st.have_token = true;
+    st.next_stamp = std::max(st.next_stamp, st.pending_token_stamp);
+  }
+  st.pending_token_view = 0;
+  st.pending_token_stamp = 0;
+  stack().cancel(st.idle_timer);
+  st.idle_timer = 0;
+  pass_up(g, ev);
+  if (st.have_token) {
+    if (!st.pending.empty()) {
+      drain_token(g, st);
+    } else {
+      schedule_idle_pass(g, st);
+    }
+  }
+}
+
+void Total::dump(Group& g, std::string& out) const {
+  State& st = state<State>(const_cast<Group&>(g));
+  out += "TOTAL: token=" + std::to_string(st.have_token) +
+         " next_stamp=" + std::to_string(st.next_stamp) +
+         " next_deliver=" + std::to_string(st.next_deliver) +
+         " pending=" + std::to_string(st.pending.size()) +
+         " delivered=" + std::to_string(st.delivered) + "\n";
+}
+
+}  // namespace horus::layers

@@ -1,0 +1,77 @@
+// TOTAL: token-based totally ordered multicast (Section 7).
+//
+// "During normal operation, it utilizes a token. A special 'oracle' at
+//  each member decides who should get the token next. ... In case of a
+//  failure, the token may be lost. This, however, is not a problem. During
+//  the flush, all members that did not get the token in time send their
+//  messages. These messages are not delivered, but buffered. When the new
+//  view is installed, each member that remains connected to the system is
+//  guaranteed to have all messages from the previous view, and a
+//  deterministic order can easily be constructed ... Another deterministic
+//  rule decides who the first token holder in this view is (e.g., the
+//  lowest ranked member)."
+//
+// The oracle here is round-robin rotation: the holder stamps its pending
+// casts with consecutive global sequence numbers, then passes the token to
+// the next rank (after a short idle delay when it has nothing to send).
+// TOTAL requires virtual synchrony from below and -- as Section 7 notes --
+// needs no failure detector of its own: view changes from MBRSHIP carry all
+// the failure information it needs.
+#pragma once
+
+#include <map>
+
+#include "horus/core/layer.hpp"
+#include "horus/layers/common.hpp"
+
+namespace horus::layers {
+
+class Total final : public Layer {
+ public:
+  Total();
+
+  const LayerInfo& info() const override { return info_; }
+  std::unique_ptr<LayerState> make_state(Group& g) override;
+  void down(Group& g, DownEvent& ev) override;
+  void up(Group& g, UpEvent& ev) override;
+  void dump(Group& g, std::string& out) const override;
+
+ private:
+  static constexpr std::uint64_t kOrdered = 0;  ///< token-stamped cast
+  static constexpr std::uint64_t kUnordered = 1; ///< flush-window cast
+  static constexpr std::uint64_t kToken = 2;     ///< token pass (subset send)
+  static constexpr std::uint64_t kPass = 3;      ///< app subset send
+
+  struct Buffered {
+    Address source;
+    std::uint64_t msg_id = 0;
+    Message msg;
+  };
+
+  struct State final : LayerState {
+    bool have_token = false;
+    std::uint64_t next_stamp = 1;    ///< next global seq to assign (holder)
+    std::uint64_t next_deliver = 1;  ///< next global seq to deliver
+    std::map<std::uint64_t, Buffered> ordered;  ///< received, awaiting order
+    std::vector<Message> pending;               ///< casts awaiting the token
+    /// Flush-window casts, keyed for the deterministic view-change order.
+    std::vector<std::pair<Address, Buffered>> unordered;
+    sim::TimerId idle_timer = 0;
+    std::uint64_t tokens_passed = 0;
+    std::uint64_t delivered = 0;
+    /// A token that arrived for a view we have not installed yet (the
+    /// sender installed it first); claimed when our install catches up.
+    std::uint64_t pending_token_view = 0;
+    std::uint64_t pending_token_stamp = 0;
+  };
+
+  void drain_token(Group& g, State& st);
+  void pass_token(Group& g, State& st);
+  void schedule_idle_pass(Group& g, State& st);
+  void deliver_in_order(Group& g, State& st);
+  void on_view(Group& g, State& st, UpEvent& ev);
+
+  LayerInfo info_;
+};
+
+}  // namespace horus::layers

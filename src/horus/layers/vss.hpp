@@ -1,0 +1,86 @@
+// VSS: virtually synchronous sending -- Table 3's VSS row.
+//
+// Stacked above BMS, this layer upgrades semi-synchronous membership (P8:
+// agreed views, unreconciled messages) to full virtual synchrony (P9): when
+// BMS announces a new view, VSS runs the message-reconciliation exchange
+// that MBRSHIP performs internally -- survivors send their delivery vectors
+// and unstable message logs to the oldest survivor, which broadcasts the
+// union; every survivor delivers the missing old-view messages BEFORE the
+// view is released upward.
+//
+// MBRSHIP == BMS + VSS fused: this pair exists to demonstrate the paper's
+// point that even membership itself decomposes into LEGO layers (and
+// Section 11's note that mixing group communication with membership
+// agreement "clouded" the Isis architecture).
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "horus/core/layer.hpp"
+#include "horus/layers/common.hpp"
+
+namespace horus::layers {
+
+class Vss final : public Layer {
+ public:
+  Vss();
+
+  const LayerInfo& info() const override { return info_; }
+  std::unique_ptr<LayerState> make_state(Group& g) override;
+  void down(Group& g, DownEvent& ev) override;
+  void up(Group& g, UpEvent& ev) override;
+  void dump(Group& g, std::string& out) const override;
+
+  /// One reconciliation-log entry (public: the codec helpers use it).
+  struct LogEntry {
+    Address sender;
+    std::uint64_t vseq;
+    CapturedMsg content;
+  };
+
+ private:
+  static constexpr std::uint64_t kData = 0;
+  static constexpr std::uint64_t kOob = 1;
+  static constexpr std::uint64_t kState = 2;    ///< survivor -> coordinator
+  static constexpr std::uint64_t kRelease = 3;  ///< coordinator -> everyone
+
+  struct State final : LayerState {
+    /// The last view released upward (what the application lives in).
+    View svc_view;
+    bool have_svc = false;
+    std::uint64_t my_vseq = 0;
+    std::map<Address, std::uint64_t> delivered;
+    std::map<Address, std::map<std::uint64_t, CapturedMsg>> log;
+
+    /// In-progress transition (BMS announced `target`, not yet released).
+    bool transitioning = false;
+    View target;
+    bool state_sent = false;
+    // Coordinator side.
+    std::set<Address> state_waiting;
+    std::map<Address, std::map<std::uint64_t, CapturedMsg>> collected;
+
+    /// New-view data that arrived before our release.
+    std::map<std::uint64_t, std::vector<LogEntry>> future;
+    std::vector<Message> deferred_casts;
+    std::uint64_t exchanges_completed = 0;
+  };
+
+  [[nodiscard]] Address self() const { return stack().address(); }
+  Address exchange_coordinator(const State& st) const;
+  void begin_transition(Group& g, State& st, const View& nv);
+  void send_state(Group& g, State& st);
+  void maybe_release(Group& g, State& st);
+  void apply_release(Group& g, State& st, ByteSpan bundle);
+  void release(Group& g, State& st, const View& nv,
+               const std::vector<LogEntry>& entries);
+  void send_ctl(Group& g, std::uint64_t kind, const Address& dst,
+                ByteSpan payload);
+  void deliver_data(Group& g, State& st, const Address& src,
+                    std::uint64_t vseq, UpEvent& ev);
+
+  LayerInfo info_;
+};
+
+}  // namespace horus::layers

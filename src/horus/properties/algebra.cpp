@@ -1,0 +1,109 @@
+#include "horus/properties/algebra.hpp"
+
+#include <map>
+#include <queue>
+
+namespace horus::props {
+namespace {
+
+/// Properties above a layer given the properties below it.
+PropertySet apply(const LayerSpec& layer, PropertySet below) {
+  return (below & layer.inherits) | layer.provides;
+}
+
+}  // namespace
+
+StackCheck check_stack(const std::vector<LayerSpec>& layers, PropertySet network) {
+  StackCheck out;
+  PropertySet cur = network;
+  // Walk bottom to top: the spec vector is top-to-bottom.
+  for (auto it = layers.rbegin(); it != layers.rend(); ++it) {
+    const LayerSpec& l = *it;
+    if (!includes(cur, l.requires_below)) {
+      PropertySet missing = l.requires_below & ~cur;
+      out.error = "layer " + l.name + " requires " + to_string(missing) +
+                  " which the stack below it does not provide (it provides " +
+                  to_string(cur) + ")";
+      return out;
+    }
+    cur = apply(l, cur);
+    out.after_layer.push_back(cur);
+  }
+  out.well_formed = true;
+  out.result = cur;
+  return out;
+}
+
+std::optional<PropertySet> derive(const std::vector<LayerSpec>& layers,
+                                  PropertySet network) {
+  StackCheck c = check_stack(layers, network);
+  if (!c.well_formed) return std::nullopt;
+  return c.result;
+}
+
+StackSearchResult find_minimal_stack(const std::vector<LayerSpec>& library,
+                                     PropertySet network, PropertySet required,
+                                     int max_depth) {
+  // Dijkstra over property-set states. Applying a layer is a deterministic
+  // transition s -> (s & inherits) | provides, enabled when requires <= s.
+  struct Node {
+    int cost;
+    int depth;
+    PropertySet state;
+    bool operator>(const Node& o) const { return cost > o.cost; }
+  };
+  struct Via {
+    int cost;
+    PropertySet prev;
+    int layer;  // index into library; -1 for the start state
+  };
+
+  std::map<PropertySet, Via> best;
+  std::priority_queue<Node, std::vector<Node>, std::greater<>> frontier;
+  best[network] = Via{0, 0, -1};
+  frontier.push({0, 0, network});
+
+  StackSearchResult out;
+  while (!frontier.empty()) {
+    Node n = frontier.top();
+    frontier.pop();
+    auto it = best.find(n.state);
+    if (it == best.end() || it->second.cost < n.cost) continue;  // stale
+
+    if (includes(n.state, required)) {
+      // Reconstruct the path (bottom..top), then reverse to top..bottom.
+      std::vector<std::string> path;
+      PropertySet s = n.state;
+      while (true) {
+        const Via& v = best.at(s);
+        if (v.layer < 0) break;
+        path.push_back(library[static_cast<std::size_t>(v.layer)].name);
+        s = v.prev;
+      }
+      // `path` was collected by walking from the final state downward, so
+      // the first entry is the last layer applied: it is already in
+      // top..bottom order.
+      out.found = true;
+      out.stack = std::move(path);
+      out.result = n.state;
+      out.cost = n.cost;
+      return out;
+    }
+    if (n.depth >= max_depth) continue;
+
+    for (std::size_t i = 0; i < library.size(); ++i) {
+      const LayerSpec& l = library[i];
+      if (!includes(n.state, l.requires_below)) continue;
+      PropertySet next = apply(l, n.state);
+      if (next == n.state) continue;  // useless application
+      int cost = n.cost + l.cost;
+      auto bit = best.find(next);
+      if (bit != best.end() && bit->second.cost <= cost) continue;
+      best[next] = Via{cost, n.state, static_cast<int>(i)};
+      frontier.push({cost, n.depth + 1, next});
+    }
+  }
+  return out;
+}
+
+}  // namespace horus::props

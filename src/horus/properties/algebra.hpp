@@ -1,0 +1,65 @@
+// The stack algebra of Section 6: given per-layer Requires / Inherits /
+// Provides specifications (Table 3), decide whether a stack is well-formed,
+// compute the property set a well-formed stack delivers, and search for a
+// minimal (least-cost) stack that satisfies an application's requirements
+// over a network with given properties.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "horus/properties/property.hpp"
+
+namespace horus::props {
+
+/// One row of Table 3: what a layer requires from the communication
+/// underneath, which underlying properties it passes through (inherits),
+/// and which properties it provides itself.
+struct LayerSpec {
+  std::string name;
+  PropertySet requires_below = 0;
+  PropertySet inherits = 0;  ///< properties passed through if present below
+  PropertySet provides = 0;
+  int cost = 1;  ///< relative cost, for minimal-stack search
+};
+
+/// Outcome of checking a stack bottom-up.
+struct StackCheck {
+  bool well_formed = false;
+  /// Properties available above the top layer (meaningful if well_formed).
+  PropertySet result = 0;
+  /// Properties available above each layer, bottom to top.
+  std::vector<PropertySet> after_layer;
+  /// Human-readable diagnosis when ill-formed.
+  std::string error;
+};
+
+/// Check a stack. `layers` is ordered TOP to BOTTOM (the order of a Horus
+/// stack spec string such as "TOTAL:MBRSHIP:FRAG:NAK:COM"); `network` is the
+/// property set of the transport below the bottom layer.
+StackCheck check_stack(const std::vector<LayerSpec>& layers, PropertySet network);
+
+/// Compute the properties above a well-formed stack; nullopt if ill-formed.
+std::optional<PropertySet> derive(const std::vector<LayerSpec>& layers,
+                                  PropertySet network);
+
+/// Result of the minimal-stack search.
+struct StackSearchResult {
+  bool found = false;
+  std::vector<std::string> stack;  ///< layer names, top to bottom
+  PropertySet result = 0;
+  int cost = 0;
+};
+
+/// Find the least-cost well-formed stack, drawn from `library`, that
+/// provides at least `required` on top of a network providing `network`.
+/// Each library layer may be used at most `max_per_layer` times (1 by
+/// default; no useful stack repeats a layer). This is the Section 6 idea of
+/// Horus "building a single protocol for the particular application on the
+/// fly".
+StackSearchResult find_minimal_stack(const std::vector<LayerSpec>& library,
+                                     PropertySet network, PropertySet required,
+                                     int max_depth = 8);
+
+}  // namespace horus::props

@@ -1,0 +1,54 @@
+#include "horus/properties/property.hpp"
+
+namespace horus::props {
+
+std::string short_name(Property p) {
+  return "P" + std::to_string(static_cast<int>(p));
+}
+
+std::string description(Property p) {
+  switch (p) {
+    case Property::kBestEffort: return "best effort delivery";
+    case Property::kPrioritized: return "prioritized effort delivery";
+    case Property::kFifoUnicast: return "FIFO unicast delivery";
+    case Property::kFifoMulticast: return "FIFO multicast delivery";
+    case Property::kCausal: return "causal delivery";
+    case Property::kTotalOrder: return "totally ordered delivery";
+    case Property::kSafe: return "safe delivery";
+    case Property::kVirtualSemiSync: return "virtually semi-synchronous delivery";
+    case Property::kVirtualSync: return "virtually synchronous delivery";
+    case Property::kGarblingDetect: return "byte re-ordering detection";
+    case Property::kSourceAddress: return "source address";
+    case Property::kLargeMessages: return "large messages";
+    case Property::kCausalTimestamps: return "causal timestamps";
+    case Property::kStabilityInfo: return "stability information";
+    case Property::kConsistentViews: return "consistent views";
+    case Property::kAutoMerge: return "automatic view merging";
+  }
+  return "unknown";
+}
+
+std::string to_string(PropertySet s) {
+  std::string out = "{";
+  bool first = true;
+  for (int i = 1; i <= kPropertyCount; ++i) {
+    auto p = static_cast<Property>(i);
+    if (!has(s, p)) continue;
+    if (!first) out += ",";
+    out += short_name(p);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+std::vector<Property> to_list(PropertySet s) {
+  std::vector<Property> out;
+  for (int i = 1; i <= kPropertyCount; ++i) {
+    auto p = static_cast<Property>(i);
+    if (has(s, p)) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace horus::props

@@ -1,0 +1,65 @@
+// The protocol property vocabulary of Table 4 (P1..P16).
+//
+// A property is either a requirement a layer places on the communication
+// below it, or a guarantee the layer provides above it. Sets of properties
+// are small, so they are represented as 16-bit masks, which makes the
+// minimal-stack search (Section 6) a cheap graph search.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace horus::props {
+
+enum class Property : std::uint8_t {
+  kBestEffort = 1,        ///< P1  best effort delivery
+  kPrioritized = 2,       ///< P2  prioritized effort delivery
+  kFifoUnicast = 3,       ///< P3  FIFO unicast delivery
+  kFifoMulticast = 4,     ///< P4  FIFO multicast delivery
+  kCausal = 5,            ///< P5  causal delivery
+  kTotalOrder = 6,        ///< P6  totally ordered delivery
+  kSafe = 7,              ///< P7  safe delivery
+  kVirtualSemiSync = 8,   ///< P8  virtually semi-synchronous delivery
+  kVirtualSync = 9,       ///< P9  virtually synchronous delivery
+  kGarblingDetect = 10,   ///< P10 byte re-ordering detection
+  kSourceAddress = 11,    ///< P11 source address
+  kLargeMessages = 12,    ///< P12 large messages
+  kCausalTimestamps = 13, ///< P13 causal timestamps
+  kStabilityInfo = 14,    ///< P14 stability information
+  kConsistentViews = 15,  ///< P15 consistent views
+  kAutoMerge = 16,        ///< P16 automatic view merging
+};
+
+constexpr int kPropertyCount = 16;
+
+/// Bitmask of properties; bit (i-1) set means Pi holds.
+using PropertySet = std::uint32_t;
+
+constexpr PropertySet mask(Property p) {
+  return PropertySet{1} << (static_cast<int>(p) - 1);
+}
+
+constexpr PropertySet make_set(std::initializer_list<Property> ps) {
+  PropertySet s = 0;
+  for (Property p : ps) s |= mask(p);
+  return s;
+}
+
+constexpr PropertySet kAllProperties = (PropertySet{1} << kPropertyCount) - 1;
+
+constexpr bool has(PropertySet s, Property p) { return (s & mask(p)) != 0; }
+constexpr bool includes(PropertySet s, PropertySet subset) {
+  return (s & subset) == subset;
+}
+
+/// "P7" style short name.
+std::string short_name(Property p);
+/// Table 4 description, e.g. "totally ordered delivery".
+std::string description(Property p);
+/// "{P3,P4,P6}" rendering of a set.
+std::string to_string(PropertySet s);
+/// All properties in a set, ascending.
+std::vector<Property> to_list(PropertySet s);
+
+}  // namespace horus::props

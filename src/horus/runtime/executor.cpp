@@ -1,0 +1,96 @@
+#include "horus/runtime/executor.hpp"
+
+#include <utility>
+
+namespace horus::runtime {
+
+void MonitorExecutor::post(Task t) {
+  queue_.push_back(std::move(t));
+  if (running_) return;  // the draining frame below us will pick it up
+  running_ = true;
+  while (!queue_.empty()) {
+    Task task = std::move(queue_.front());
+    queue_.pop_front();
+    task();
+  }
+  running_ = false;
+}
+
+void SequencedExecutor::post(Task t) {
+  std::unique_lock lock(mu_);
+  std::uint64_t ticket = next_ticket_++;
+  pending_[ticket] = std::move(t);
+  if (running_) return;
+  running_ = true;
+  while (true) {
+    auto it = pending_.find(next_to_run_);
+    if (it == pending_.end()) break;
+    Task task = std::move(it->second);
+    pending_.erase(it);
+    ++next_to_run_;
+    lock.unlock();
+    task();
+    lock.lock();
+  }
+  running_ = false;
+}
+
+void SequencedExecutor::drain() {
+  // All work is executed eagerly by post(); nothing to do.
+}
+
+ThreadPoolExecutor::ThreadPoolExecutor(unsigned threads) {
+  if (threads == 0) threads = 1;
+  threads_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    threads_.emplace_back([this] { worker(); });
+  }
+}
+
+ThreadPoolExecutor::~ThreadPoolExecutor() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPoolExecutor::post(Task t) {
+  {
+    std::lock_guard lock(mu_);
+    queue_.push_back(std::move(t));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPoolExecutor::drain() {
+  std::unique_lock lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPoolExecutor::worker() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    {
+      // One thread inside the stack at a time, as in threaded Horus.
+      std::lock_guard stack_lock(stack_mu_);
+      task();
+    }
+    {
+      std::lock_guard lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace horus::runtime

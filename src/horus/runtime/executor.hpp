@@ -1,0 +1,105 @@
+// Execution models for protocol stacks (paper Section 3).
+//
+// Horus originally ran stacks with pre-emptive threads and per-layer locks,
+// and the paper reports that locking was "a source of bugs in layers
+// developed by inexperienced thread users" plus a measurable cost (Section
+// 10, problem 2). It describes three remedies, all implemented here:
+//
+//  * InlineExecutor    -- direct procedure calls (the baseline; reentrant).
+//  * MonitorExecutor   -- "treats a layer as a monitor, allowing only one
+//                         thread at a time to be active for each group
+//                         object": a run-to-completion event queue. This is
+//                         also the paper's non-threaded "event queue model"
+//                         (one scheduling thread per stack), and is the
+//                         default execution model in this implementation.
+//  * SequencedExecutor -- the event-counter scheme: every posted task gets
+//                         a sequence number and tasks execute in sequence
+//                         order even if posted from multiple threads.
+//  * ThreadPoolExecutor-- real kernel threads with a per-stack mutex, used
+//                         by bench_exec_models to measure what intra-stack
+//                         threading actually costs.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace horus::runtime {
+
+using Task = std::function<void()>;
+
+/// Abstract execution model: how work enters a protocol stack.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+  /// Submit a task. Depending on the model it may run before post returns.
+  virtual void post(Task t) = 0;
+  /// Run until no queued work remains (no-op for inline/threaded models
+  /// that do not queue).
+  virtual void drain() {}
+};
+
+/// Direct calls; tasks run immediately and may re-enter the stack.
+class InlineExecutor final : public Executor {
+ public:
+  void post(Task t) override { t(); }
+};
+
+/// Run-to-completion queue: while a task is executing, tasks it posts are
+/// queued behind it. Exactly one logical thread is ever inside the stack,
+/// which is the monitor semantics the paper recommends.
+class MonitorExecutor final : public Executor {
+ public:
+  void post(Task t) override;
+
+ private:
+  std::deque<Task> queue_;
+  bool running_ = false;
+};
+
+/// Event-counter model: tasks carry sequence numbers assigned at post time
+/// and execute strictly in sequence order. Thread-safe.
+class SequencedExecutor final : public Executor {
+ public:
+  void post(Task t) override;
+  void drain() override;
+
+ private:
+  std::mutex mu_;
+  std::uint64_t next_ticket_ = 0;   // next sequence number to hand out
+  std::uint64_t next_to_run_ = 0;   // next sequence number allowed to run
+  std::map<std::uint64_t, Task> pending_;
+  bool running_ = false;
+};
+
+/// Kernel-thread pool with a per-executor mutex around task bodies. Used to
+/// measure the cost of intra-stack threading (Section 10 problem 2).
+class ThreadPoolExecutor final : public Executor {
+ public:
+  explicit ThreadPoolExecutor(unsigned threads = 2);
+  ~ThreadPoolExecutor() override;
+  ThreadPoolExecutor(const ThreadPoolExecutor&) = delete;
+  ThreadPoolExecutor& operator=(const ThreadPoolExecutor&) = delete;
+
+  void post(Task t) override;
+  void drain() override;
+
+ private:
+  void worker();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<Task> queue_;
+  std::vector<std::thread> threads_;
+  std::mutex stack_mu_;  // the per-stack lock the paper talks about
+  unsigned active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace horus::runtime

@@ -1,0 +1,104 @@
+#include "horus/sim/network.hpp"
+
+#include <utility>
+
+namespace horus::sim {
+
+void SimNetwork::attach(NodeId node, Handler handler) {
+  handlers_[node] = std::move(handler);
+}
+
+void SimNetwork::crash(NodeId node) { handlers_.erase(node); }
+
+bool SimNetwork::is_attached(NodeId node) const {
+  return handlers_.contains(node);
+}
+
+void SimNetwork::set_link_params(NodeId src, NodeId dst, const LinkParams& p) {
+  link_params_[{src, dst}] = p;
+}
+
+void SimNetwork::clear_link_params(NodeId src, NodeId dst) {
+  link_params_.erase({src, dst});
+}
+
+void SimNetwork::set_partitions(const std::vector<std::vector<NodeId>>& cells) {
+  cell_of_.clear();
+  partitioned_ = !cells.empty();
+  int idx = 0;
+  for (const auto& cell : cells) {
+    for (NodeId n : cell) cell_of_[n] = idx;
+    ++idx;
+  }
+}
+
+bool SimNetwork::can_reach(NodeId a, NodeId b) const {
+  if (!partitioned_) return true;
+  auto ia = cell_of_.find(a);
+  auto ib = cell_of_.find(b);
+  if (ia == cell_of_.end() || ib == cell_of_.end()) return false;
+  return ia->second == ib->second;
+}
+
+const LinkParams& SimNetwork::params_for(NodeId src, NodeId dst) const {
+  auto it = link_params_.find({src, dst});
+  return it != link_params_.end() ? it->second : default_params_;
+}
+
+void SimNetwork::send(NodeId src, NodeId dst, ByteSpan data) {
+  ++stats_.sent;
+  stats_.bytes_sent += data.size();
+  const LinkParams& p = params_for(src, dst);
+  if (data.size() > p.mtu) {
+    ++stats_.dropped_mtu;
+    return;
+  }
+  if (!can_reach(src, dst)) {
+    ++stats_.dropped_partition;
+    return;
+  }
+  if (rng_.chance(p.loss)) {
+    ++stats_.dropped_loss;
+    return;
+  }
+  Bytes copy(data.begin(), data.end());
+  if (rng_.chance(p.corrupt) && !copy.empty()) {
+    ++stats_.corrupted;
+    // Flip 1-4 random bytes.
+    std::uint64_t flips = 1 + rng_.next_below(4);
+    for (std::uint64_t i = 0; i < flips; ++i) {
+      copy[rng_.next_below(copy.size())] ^=
+          static_cast<std::uint8_t>(1 + rng_.next_below(255));
+    }
+  }
+  if (rng_.chance(p.duplicate)) {
+    ++stats_.duplicated;
+    deliver_later(src, dst, copy, p);
+  }
+  deliver_later(src, dst, std::move(copy), p);
+}
+
+void SimNetwork::deliver_later(NodeId src, NodeId dst, Bytes data,
+                               const LinkParams& p) {
+  Duration jitter = p.delay_max > p.delay_min
+                        ? rng_.next_below(p.delay_max - p.delay_min)
+                        : 0;
+  Duration delay = p.delay_min + jitter;
+  sched_.schedule(delay, [this, src, dst, data = std::move(data)]() {
+    auto it = handlers_.find(dst);
+    if (it == handlers_.end()) {
+      ++stats_.dropped_crashed;
+      return;
+    }
+    // Partition state is evaluated at delivery time too: a datagram in
+    // flight when the partition forms does not cross it.
+    if (!can_reach(src, dst)) {
+      ++stats_.dropped_partition;
+      return;
+    }
+    ++stats_.delivered;
+    it->second(src, ByteSpan(data));
+  });
+}
+
+}  // namespace horus::sim

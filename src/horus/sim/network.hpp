@@ -1,0 +1,104 @@
+// SimNetwork: an unreliable datagram network (the paper's "COM provides
+// unreliable communication over a low-level network of choice").
+//
+// This is the substitute for the paper's ATM/UDP substrate. It provides
+// exactly property P1 (best-effort delivery): datagrams may be dropped,
+// duplicated, reordered (via latency jitter), or garbled, per configurable
+// per-link parameters. It also models node crashes and network partitions,
+// which is what drives the MBRSHIP flush protocol and the Figure 2 scenario.
+//
+// Delivery is mediated by the shared Scheduler, so a whole multi-node run
+// is deterministic given the seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "horus/sim/scheduler.hpp"
+#include "horus/util/bytes.hpp"
+#include "horus/util/rng.hpp"
+
+namespace horus::sim {
+
+/// Identifies a network attachment point (one Horus endpoint).
+using NodeId = std::uint64_t;
+
+/// Tunable behaviour of a link (or of the whole network via defaults).
+struct LinkParams {
+  double loss = 0.0;        ///< probability a datagram is silently dropped
+  double duplicate = 0.0;   ///< probability a datagram is delivered twice
+  double corrupt = 0.0;     ///< probability some payload bytes are flipped
+  Duration delay_min = 50;  ///< microseconds
+  Duration delay_max = 200; ///< microseconds; jitter window causes reordering
+  std::size_t mtu = 1400;   ///< datagrams larger than this are dropped
+};
+
+/// Counters for observability and the benchmark harness.
+struct NetStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_loss = 0;
+  std::uint64_t dropped_partition = 0;
+  std::uint64_t dropped_crashed = 0;
+  std::uint64_t dropped_mtu = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+class SimNetwork {
+ public:
+  using Handler = std::function<void(NodeId src, ByteSpan data)>;
+
+  SimNetwork(Scheduler& sched, std::uint64_t seed = 0x5eed)
+      : sched_(sched), rng_(seed) {}
+
+  /// Attach a node; `handler` is invoked on each delivered datagram.
+  void attach(NodeId node, Handler handler);
+
+  /// Detach a node permanently (models a crash). In-flight datagrams to the
+  /// node are discarded at delivery time.
+  void crash(NodeId node);
+
+  [[nodiscard]] bool is_attached(NodeId node) const;
+
+  /// Best-effort datagram send.
+  void send(NodeId src, NodeId dst, ByteSpan data);
+
+  /// Default parameters for links without an override.
+  void set_default_params(const LinkParams& p) { default_params_ = p; }
+  [[nodiscard]] const LinkParams& default_params() const { return default_params_; }
+
+  /// Per-directed-link override.
+  void set_link_params(NodeId src, NodeId dst, const LinkParams& p);
+  void clear_link_params(NodeId src, NodeId dst);
+
+  /// Partition the network into cells; traffic crosses cells only if the
+  /// two nodes share a cell. Nodes not listed are isolated. An empty vector
+  /// removes all partitions.
+  void set_partitions(const std::vector<std::vector<NodeId>>& cells);
+  [[nodiscard]] bool can_reach(NodeId a, NodeId b) const;
+
+  [[nodiscard]] const NetStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = NetStats{}; }
+
+  [[nodiscard]] Scheduler& scheduler() { return sched_; }
+
+ private:
+  const LinkParams& params_for(NodeId src, NodeId dst) const;
+  void deliver_later(NodeId src, NodeId dst, Bytes data, const LinkParams& p);
+
+  Scheduler& sched_;
+  Rng rng_;
+  LinkParams default_params_;
+  std::unordered_map<NodeId, Handler> handlers_;
+  std::map<std::pair<NodeId, NodeId>, LinkParams> link_params_;
+  std::unordered_map<NodeId, int> cell_of_;  // empty map = no partitions
+  bool partitioned_ = false;
+  NetStats stats_;
+};
+
+}  // namespace horus::sim

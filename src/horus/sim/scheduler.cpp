@@ -1,0 +1,67 @@
+#include "horus/sim/scheduler.hpp"
+
+#include <utility>
+
+namespace horus::sim {
+
+TimerId Scheduler::schedule(Duration delay, std::function<void()> fn) {
+  TimerId id = next_id_++;
+  queue_.push(Event{now_ + delay, next_seq_++, id, std::move(fn)});
+  return id;
+}
+
+void Scheduler::cancel(TimerId id) { cancelled_.insert(id); }
+
+bool Scheduler::pop_one(Event& out) {
+  while (!queue_.empty()) {
+    // priority_queue::top returns const&; we need to move the closure out.
+    out = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    auto it = cancelled_.find(out.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+std::size_t Scheduler::run() {
+  std::size_t n = 0;
+  Event ev;
+  while (pop_one(ev)) {
+    now_ = ev.at;
+    ev.fn();
+    ++n;
+  }
+  return n;
+}
+
+std::size_t Scheduler::run_until(Time deadline) {
+  std::size_t n = 0;
+  Event ev;
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    if (!pop_one(ev)) break;
+    if (ev.at > deadline) {
+      // Lost race with cancellation cleanup; put it back.
+      queue_.push(std::move(ev));
+      break;
+    }
+    now_ = ev.at;
+    ev.fn();
+    ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+bool Scheduler::step() {
+  Event ev;
+  if (!pop_one(ev)) return false;
+  now_ = ev.at;
+  ev.fn();
+  return true;
+}
+
+}  // namespace horus::sim

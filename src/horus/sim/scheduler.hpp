@@ -1,0 +1,86 @@
+// Discrete-event scheduler with a virtual clock.
+//
+// Everything in a Horus process -- timer expirations, message deliveries,
+// deferred upcalls -- is an event on this queue. Running the queue to
+// quiescence with a fixed RNG seed makes entire multi-process executions
+// (including crashes, partitions and message loss) bit-for-bit reproducible,
+// which is what the integration tests and the Figure 2 scenario rely on.
+//
+// Time is in microseconds. Events at equal times fire in scheduling order
+// (a monotonically increasing tiebreak sequence), so the simulation is
+// deterministic even with many simultaneous events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace horus::sim {
+
+/// Virtual time in microseconds since simulation start.
+using Time = std::uint64_t;
+/// Duration in microseconds.
+using Duration = std::uint64_t;
+
+constexpr Duration kMicrosecond = 1;
+constexpr Duration kMillisecond = 1000;
+constexpr Duration kSecond = 1000 * 1000;
+
+/// Handle for cancelling a scheduled event. 0 is never a valid id.
+using TimerId = std::uint64_t;
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedule `fn` to run at now() + delay. Returns a cancellable id.
+  TimerId schedule(Duration delay, std::function<void()> fn);
+
+  /// Cancel a previously scheduled event. Safe to call after it fired.
+  void cancel(TimerId id);
+
+  /// Run events until the queue is empty. Returns number of events run.
+  std::size_t run();
+
+  /// Run events with time <= deadline; advances now() to deadline.
+  std::size_t run_until(Time deadline);
+
+  /// Run for a relative duration from current now().
+  std::size_t run_for(Duration d) { return run_until(now_ + d); }
+
+  /// Run at most one event; returns false if the queue is empty.
+  bool step();
+
+  [[nodiscard]] bool empty() const { return queue_.size() == cancelled_.size(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;  // tiebreak: FIFO among equal-time events
+    TimerId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_one(Event& out);
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  TimerId next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<TimerId> cancelled_;
+};
+
+}  // namespace horus::sim

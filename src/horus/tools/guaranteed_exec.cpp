@@ -1,0 +1,81 @@
+#include "horus/tools/guaranteed_exec.hpp"
+
+#include "horus/util/serialize.hpp"
+
+namespace horus::tools {
+namespace {
+
+constexpr std::uint8_t kSubmit = 'T';
+constexpr std::uint8_t kDone = 'D';
+
+}  // namespace
+
+GuaranteedExecution::GuaranteedExecution(
+    Endpoint& ep, GroupId gid,
+    std::function<void(const std::string&, const std::string&)> run,
+    Endpoint::UpcallHandler fallback)
+    : ep_(&ep), gid_(gid), run_(std::move(run)), fallback_(std::move(fallback)) {
+  ep_->on_upcall([this](Group& g, UpEvent& ev) {
+    if (g.gid() == gid_) {
+      handle(g, ev);
+    } else if (fallback_) {
+      fallback_(g, ev);
+    }
+  });
+}
+
+void GuaranteedExecution::submit(const std::string& task_id,
+                                 const std::string& body) {
+  Writer w;
+  w.u8(kSubmit);
+  w.str(task_id);
+  w.str(body);
+  ep_->cast(gid_, Message::from_payload(w.take()));
+}
+
+void GuaranteedExecution::handle(Group& g, UpEvent& ev) {
+  switch (ev.type) {
+    case UpType::kView:
+      balancer_.update_view(ev.view);
+      // Ownership may have shifted to us: pick up orphaned tasks.
+      run_owned();
+      return;
+    case UpType::kCast: {
+      Bytes payload = ev.msg.payload_bytes();
+      try {
+        Reader r(payload);
+        std::uint8_t tag = r.u8();
+        std::string id = r.str();
+        if (tag == kSubmit) {
+          std::string body = r.str();
+          if (!tasks_.contains(id)) tasks_[id] = Task{std::move(body), false};
+          run_owned();
+        } else if (tag == kDone) {
+          tasks_[id].done = true;
+        }
+      } catch (const DecodeError&) {
+        // foreign payload: ignore
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void GuaranteedExecution::run_owned() {
+  for (auto& [id, task] : tasks_) {
+    if (task.done) continue;
+    if (!balancer_.mine(id, ep_->address())) continue;
+    // Execute, then announce completion (ordered, so everyone marks done
+    // identically; re-announcements after a failover race are idempotent).
+    run_(id, task.body);
+    Writer w;
+    w.u8(kDone);
+    w.str(id);
+    ep_->cast(gid_, Message::from_payload(w.take()));
+    task.done = true;  // local fast-path; the cast confirms it everywhere
+  }
+}
+
+}  // namespace horus::tools

@@ -1,0 +1,66 @@
+// GuaranteedExecution: the last of the paper's named Isis tools
+// (Section 1: "tools for locking and replicating data, load-balancing,
+// guaranteed execution, primary-backup fault-tolerance...").
+//
+// A submitted task is guaranteed to be executed by some group member even
+// across crashes: the task list is replicated by ordered multicast; every
+// member deterministically knows each task's current owner (rendezvous
+// hashing over the view); the owner runs it and multicasts completion.
+// When a view change removes an owner mid-task, ownership recomputes and
+// the new owner re-executes -- at-least-once semantics with replicated
+// completion-dedup, which is exactly what "guaranteed execution" meant in
+// Isis.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "horus/core/endpoint.hpp"
+#include "horus/tools/load_balancer.hpp"
+
+namespace horus::tools {
+
+class GuaranteedExecution {
+ public:
+  /// `run` executes a task's body at the member that owns it. It may run
+  /// more than once across failovers (but completion is recorded once).
+  GuaranteedExecution(Endpoint& ep, GroupId gid,
+                      std::function<void(const std::string& task_id,
+                                         const std::string& body)> run,
+                      Endpoint::UpcallHandler fallback = {});
+
+  void bootstrap() { ep_->join(gid_); }
+  void join_via(Address contact) { ep_->join(gid_, contact); }
+
+  /// Submit a task from any member; some member will execute it.
+  void submit(const std::string& task_id, const std::string& body);
+
+  [[nodiscard]] bool completed(const std::string& task_id) const {
+    auto it = tasks_.find(task_id);
+    return it != tasks_.end() && it->second.done;
+  }
+  [[nodiscard]] std::size_t pending() const {
+    std::size_t n = 0;
+    for (const auto& [id, t] : tasks_) n += t.done ? 0 : 1;
+    return n;
+  }
+
+ private:
+  struct Task {
+    std::string body;
+    bool done = false;
+  };
+
+  void handle(Group& g, UpEvent& ev);
+  void run_owned();
+
+  Endpoint* ep_;
+  GroupId gid_;
+  std::function<void(const std::string&, const std::string&)> run_;
+  Endpoint::UpcallHandler fallback_;
+  LoadBalancer balancer_;
+  std::map<std::string, Task> tasks_;
+};
+
+}  // namespace horus::tools

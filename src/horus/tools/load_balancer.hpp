@@ -1,0 +1,63 @@
+// LoadBalancer: Isis-style load sharing (paper Section 1: the Isis
+// primitives supported "load-balancing").
+//
+// Deterministic work assignment over the current view via rendezvous
+// (highest-random-weight) hashing: every member computes the same owner
+// for every key without exchanging a single message -- consistent views
+// (P15) are doing all the work. When the view changes, only the keys owned
+// by departed/arrived members move.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "horus/core/view.hpp"
+
+namespace horus::tools {
+
+class LoadBalancer {
+ public:
+  LoadBalancer() = default;
+  explicit LoadBalancer(View view) : view_(std::move(view)) {}
+
+  void update_view(View v) { view_ = std::move(v); }
+  [[nodiscard]] const View& view() const { return view_; }
+
+  /// The member responsible for `key` in the current view (nullopt when
+  /// the view is empty). Identical at every member with the same view.
+  [[nodiscard]] std::optional<Address> owner(const std::string& key) const {
+    std::optional<Address> best;
+    std::uint64_t best_weight = 0;
+    for (const Address& m : view_.members()) {
+      std::uint64_t w = weight(key, m);
+      if (!best || w > best_weight || (w == best_weight && m < *best)) {
+        best = m;
+        best_weight = w;
+      }
+    }
+    return best;
+  }
+
+  [[nodiscard]] bool mine(const std::string& key, const Address& self) const {
+    auto o = owner(key);
+    return o.has_value() && *o == self;
+  }
+
+ private:
+  static std::uint64_t weight(const std::string& key, const Address& m) {
+    // FNV-1a over key bytes mixed with the member address.
+    std::uint64_t h = 14695981039346656037ULL ^ (m.id * 0x9e3779b97f4a7c15ULL);
+    for (char c : key) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= 1099511628211ULL;
+    }
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return h;
+  }
+
+  View view_;
+};
+
+}  // namespace horus::tools

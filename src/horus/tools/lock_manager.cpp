@@ -1,0 +1,116 @@
+#include "horus/tools/lock_manager.hpp"
+
+#include <algorithm>
+
+#include "horus/util/serialize.hpp"
+
+namespace horus::tools {
+namespace {
+
+constexpr std::uint8_t kOpLock = 'L';
+constexpr std::uint8_t kOpUnlock = 'U';
+
+}  // namespace
+
+LockManager::LockManager(Endpoint& ep, GroupId gid,
+                         Endpoint::UpcallHandler fallback)
+    : ep_(&ep), gid_(gid), fallback_(std::move(fallback)) {
+  ep_->on_upcall([this](Group& g, UpEvent& ev) {
+    if (g.gid() == gid_) {
+      handle(g, ev);
+    } else if (fallback_) {
+      fallback_(g, ev);
+    }
+  });
+}
+
+void LockManager::lock(const std::string& name) {
+  Writer w;
+  w.u8(kOpLock);
+  w.str(name);
+  ep_->cast(gid_, Message::from_payload(w.take()));
+}
+
+void LockManager::unlock(const std::string& name) {
+  Writer w;
+  w.u8(kOpUnlock);
+  w.str(name);
+  ep_->cast(gid_, Message::from_payload(w.take()));
+}
+
+std::optional<Address> LockManager::holder(const std::string& name) const {
+  auto it = locks_.find(name);
+  if (it == locks_.end() || it->second.queue.empty()) return std::nullopt;
+  return it->second.queue.front();
+}
+
+bool LockManager::held_by_me(const std::string& name) const {
+  auto h = holder(name);
+  return h.has_value() && *h == ep_->address();
+}
+
+std::size_t LockManager::queue_length(const std::string& name) const {
+  auto it = locks_.find(name);
+  return it == locks_.end() ? 0 : it->second.queue.size();
+}
+
+void LockManager::handle(Group& g, UpEvent& ev) {
+  switch (ev.type) {
+    case UpType::kCast:
+      apply(ev.source, ev.msg.payload_bytes());
+      return;
+    case UpType::kView: {
+      // Departed members implicitly release everything: scrub them from
+      // every queue, granting to the next waiter where the head changed.
+      // Deterministic at every survivor (same view, same state).
+      for (auto& [name, st] : locks_) {
+        Address prev = st.queue.empty() ? Address{} : st.queue.front();
+        auto keep = [&](const Address& a) { return ev.view.contains(a); };
+        st.queue.erase(
+            std::remove_if(st.queue.begin(), st.queue.end(),
+                           [&](const Address& a) { return !keep(a); }),
+            st.queue.end());
+        grant_check(name, prev);
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void LockManager::apply(const Address& from, ByteSpan op) {
+  try {
+    Reader r(op);
+    std::uint8_t kind = r.u8();
+    std::string name = r.str();
+    LockState& st = locks_[name];
+    Address prev = st.queue.empty() ? Address{} : st.queue.front();
+    if (kind == kOpLock) {
+      // Duplicate requests from the same member are idempotent.
+      if (std::find(st.queue.begin(), st.queue.end(), from) == st.queue.end()) {
+        st.queue.push_back(from);
+      }
+    } else if (kind == kOpUnlock) {
+      auto it = std::find(st.queue.begin(), st.queue.end(), from);
+      if (it != st.queue.end()) st.queue.erase(it);
+    } else {
+      return;
+    }
+    grant_check(name, prev);
+  } catch (const DecodeError&) {
+    // Not a lock operation: ignore.
+  }
+}
+
+void LockManager::grant_check(const std::string& name,
+                              const Address& prev_holder) {
+  auto it = locks_.find(name);
+  if (it == locks_.end() || it->second.queue.empty()) return;
+  const Address& now = it->second.queue.front();
+  if (now != prev_holder && now == ep_->address() && on_granted_) {
+    on_granted_(name);
+  }
+}
+
+}  // namespace horus::tools

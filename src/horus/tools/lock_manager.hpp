@@ -1,0 +1,62 @@
+// LockManager: Isis-style distributed mutual exclusion (paper Section 1:
+// the Isis primitives "were used to support tools for locking ...";
+// Section 9: "it is straightforward to implement ... fault-tolerant
+// synchronization ... in Horus").
+//
+// Every lock/unlock request is a totally ordered multicast; all members
+// apply identical queue transitions, so everyone agrees who holds each
+// lock without any further coordination. Fault tolerance comes from the
+// view: when members depart, every survivor deterministically releases the
+// locks they held and grants them to the next waiters.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "horus/core/endpoint.hpp"
+
+namespace horus::tools {
+
+class LockManager {
+ public:
+  LockManager(Endpoint& ep, GroupId gid,
+              Endpoint::UpcallHandler fallback = {});
+
+  void bootstrap() { ep_->join(gid_); }
+  void join_via(Address contact) { ep_->join(gid_, contact); }
+
+  /// Request the named lock; on_granted fires (at this member) once the
+  /// whole group agrees we hold it. Queued FIFO behind other requesters.
+  void lock(const std::string& name);
+  /// Release a lock we hold (or withdraw a queued request).
+  void unlock(const std::string& name);
+
+  [[nodiscard]] std::optional<Address> holder(const std::string& name) const;
+  [[nodiscard]] bool held_by_me(const std::string& name) const;
+  [[nodiscard]] std::size_t queue_length(const std::string& name) const;
+
+  /// Fires when WE acquire a lock.
+  void on_granted(std::function<void(const std::string&)> cb) {
+    on_granted_ = std::move(cb);
+  }
+
+ private:
+  struct LockState {
+    std::deque<Address> queue;  ///< front = current holder
+  };
+
+  void handle(Group& g, UpEvent& ev);
+  void apply(const Address& from, ByteSpan op);
+  void grant_check(const std::string& name, const Address& prev_holder);
+
+  Endpoint* ep_;
+  GroupId gid_;
+  Endpoint::UpcallHandler fallback_;
+  std::map<std::string, LockState> locks_;
+  std::function<void(const std::string&)> on_granted_;
+};
+
+}  // namespace horus::tools

@@ -1,0 +1,118 @@
+#include "horus/tools/primary_backup.hpp"
+
+#include "horus/util/serialize.hpp"
+
+namespace horus::tools {
+namespace {
+
+constexpr std::uint8_t kExec = 'X';     // primary's ordered broadcast
+constexpr std::uint8_t kForward = 'F';  // submitter -> primary
+
+Bytes encode(std::uint8_t tag, std::uint64_t submitter, std::uint64_t req_id,
+             const std::string& body) {
+  Writer w;
+  w.u8(tag);
+  w.u64(submitter);
+  w.varint(req_id);
+  w.str(body);
+  return w.take();
+}
+
+}  // namespace
+
+PrimaryBackup::PrimaryBackup(Endpoint& ep, GroupId gid,
+                             std::function<void(const std::string&)> execute,
+                             Endpoint::UpcallHandler fallback)
+    : ep_(&ep),
+      gid_(gid),
+      execute_(std::move(execute)),
+      fallback_(std::move(fallback)) {
+  ep_->on_upcall([this](Group& g, UpEvent& ev) {
+    if (g.gid() == gid_) {
+      handle(g, ev);
+    } else if (fallback_) {
+      fallback_(g, ev);
+    }
+  });
+}
+
+Address PrimaryBackup::primary() const {
+  return view_.empty() ? Address{} : view_.oldest();
+}
+
+bool PrimaryBackup::i_am_primary() const {
+  return primary() == ep_->address();
+}
+
+void PrimaryBackup::submit(std::string request) {
+  std::uint64_t id = next_req_id_++;
+  pending_[id] = request;
+  if (i_am_primary()) {
+    ep_->cast(gid_, Message::from_payload(
+                        encode(kExec, ep_->address().id, id, request)));
+  } else if (primary().valid()) {
+    ep_->send(gid_, {primary()},
+              Message::from_payload(
+                  encode(kForward, ep_->address().id, id, request)));
+  }
+  // If no view yet, the request stays pending and is forwarded on VIEW.
+}
+
+void PrimaryBackup::forward_pending() {
+  for (const auto& [id, body] : pending_) {
+    if (i_am_primary()) {
+      ep_->cast(gid_, Message::from_payload(
+                          encode(kExec, ep_->address().id, id, body)));
+    } else if (primary().valid()) {
+      ep_->send(gid_, {primary()},
+                Message::from_payload(
+                    encode(kForward, ep_->address().id, id, body)));
+    }
+  }
+}
+
+void PrimaryBackup::handle(Group& g, UpEvent& ev) {
+  switch (ev.type) {
+    case UpType::kView:
+      view_ = ev.view;
+      // Failover (or first view): re-drive anything not yet sequenced.
+      forward_pending();
+      return;
+    case UpType::kSend: {
+      // A forwarded request; only the primary sequences it.
+      if (!i_am_primary()) return;
+      try {
+        Bytes payload = ev.msg.payload_bytes();  // keep alive for the Reader
+        Reader r(payload);
+        if (r.u8() != kForward) return;
+        std::uint64_t submitter = r.u64();
+        std::uint64_t id = r.varint();
+        std::string body = r.str();
+        if (seen_.contains({submitter, id})) return;  // already sequenced
+        ep_->cast(gid_, Message::from_payload(encode(kExec, submitter, id, body)));
+      } catch (const DecodeError&) {
+      }
+      return;
+    }
+    case UpType::kCast: {
+      try {
+        Bytes payload = ev.msg.payload_bytes();  // keep alive for the Reader
+        Reader r(payload);
+        if (r.u8() != kExec) return;
+        std::uint64_t submitter = r.u64();
+        std::uint64_t id = r.varint();
+        std::string body = r.str();
+        if (!seen_.insert({submitter, id}).second) return;  // failover dup
+        if (submitter == ep_->address().id) pending_.erase(id);
+        ++executed_;
+        if (execute_) execute_(body);
+      } catch (const DecodeError&) {
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace horus::tools

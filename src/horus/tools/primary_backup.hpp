@@ -1,0 +1,60 @@
+// PrimaryBackup: Isis-style primary-backup fault tolerance (paper
+// Section 1: the Isis primitives supported "primary-backup
+// fault-tolerance"; Section 9: "high availability of critical servers").
+//
+// One member -- the oldest in the current view -- is the primary; it
+// sequences client requests through totally ordered multicast so every
+// backup applies the identical request stream. Members submit requests
+// from anywhere: non-primaries forward to the primary out of band. On a
+// view change the oldest survivor takes over automatically, and submitters
+// re-forward their unacknowledged requests; the replicated log deduplicates
+// by (submitter, request id), so failover never duplicates execution.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+
+#include "horus/core/endpoint.hpp"
+
+namespace horus::tools {
+
+class PrimaryBackup {
+ public:
+  /// `execute` runs at EVERY member, in the same order, exactly once per
+  /// request (the replicated state machine).
+  PrimaryBackup(Endpoint& ep, GroupId gid,
+                std::function<void(const std::string&)> execute,
+                Endpoint::UpcallHandler fallback = {});
+
+  void bootstrap() { ep_->join(gid_); }
+  void join_via(Address contact) { ep_->join(gid_, contact); }
+
+  /// Submit a request from this member; it reaches `execute` everywhere.
+  /// Retries across primary failovers until sequenced.
+  void submit(std::string request);
+
+  [[nodiscard]] Address primary() const;
+  [[nodiscard]] bool i_am_primary() const;
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  void handle(Group& g, UpEvent& ev);
+  void forward_pending();
+
+  Endpoint* ep_;
+  GroupId gid_;
+  std::function<void(const std::string&)> execute_;
+  Endpoint::UpcallHandler fallback_;
+  View view_;
+  std::uint64_t next_req_id_ = 1;
+  /// My requests not yet seen in the ordered stream: re-forwarded on
+  /// failover.
+  std::map<std::uint64_t, std::string> pending_;
+  /// (submitter, req id) pairs already executed -- failover dedup.
+  std::set<std::pair<std::uint64_t, std::uint64_t>> seen_;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace horus::tools

@@ -1,0 +1,155 @@
+#include "horus/tools/replicated_map.hpp"
+
+#include "horus/util/serialize.hpp"
+
+namespace horus::tools {
+namespace {
+
+constexpr std::uint8_t kOpSet = 'S';
+constexpr std::uint8_t kOpErase = 'E';
+constexpr std::uint8_t kSnapshotTag = 'Z';
+
+}  // namespace
+
+ReplicatedMap::ReplicatedMap(Endpoint& ep, GroupId gid,
+                             Endpoint::UpcallHandler fallback)
+    : ep_(&ep), gid_(gid), fallback_(std::move(fallback)) {
+  ep_->on_upcall([this](Group& g, UpEvent& ev) {
+    if (g.gid() == gid_) {
+      handle(g, ev);
+    } else if (fallback_) {
+      fallback_(g, ev);
+    }
+  });
+}
+
+void ReplicatedMap::set(const std::string& key, const std::string& value) {
+  Writer w;
+  w.u8(kOpSet);
+  w.str(key);
+  w.str(value);
+  ep_->cast(gid_, Message::from_payload(w.take()));
+}
+
+void ReplicatedMap::erase(const std::string& key) {
+  Writer w;
+  w.u8(kOpErase);
+  w.str(key);
+  ep_->cast(gid_, Message::from_payload(w.take()));
+}
+
+std::optional<std::string> ReplicatedMap::get(const std::string& key) const {
+  auto it = data_.find(key);
+  if (it == data_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string ReplicatedMap::digest() const {
+  std::string d = "v" + std::to_string(version_) + ":";
+  for (const auto& [k, v] : data_) d += k + "=" + v + ";";
+  return d;
+}
+
+void ReplicatedMap::handle(Group& g, UpEvent& ev) {
+  switch (ev.type) {
+    case UpType::kView: {
+      bool fresh = !view_.contains(ep_->address());
+      bool founder = ev.view.size() == 1;
+      View old = view_;
+      view_ = ev.view;
+      if (fresh) {
+        // We just joined. Founders start empty and ready; later joiners
+        // wait for an incumbent's snapshot.
+        ready_ = founder;
+        awaiting_snapshot_ = !founder;
+        return;
+      }
+      // Incumbent: if this view added members, the oldest survivor (rank 0
+      // of the new view -- joiners are appended after survivors, so rank 0
+      // is always an incumbent when any incumbent remains) sends them the
+      // state as of this exact view boundary: a consistent cut.
+      if (view_.oldest() == ep_->address()) send_snapshots(old);
+      return;
+    }
+    case UpType::kCast: {
+      Bytes op = ev.msg.payload_bytes();
+      if (awaiting_snapshot_) {
+        buffered_.push_back(std::move(op));  // replayed after the snapshot
+        return;
+      }
+      apply(op);
+      return;
+    }
+    case UpType::kSend: {
+      Bytes payload = ev.msg.payload_bytes();
+      if (!payload.empty() && payload[0] == kSnapshotTag && awaiting_snapshot_) {
+        install_snapshot(payload);
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void ReplicatedMap::send_snapshots(const View& old) {
+  // Snapshot the state as of the view boundary and unicast it to each new
+  // member. Ordered casts applied after this point are also delivered to
+  // the joiners (they are new-view messages), so replaying them on top of
+  // the snapshot reconstructs our exact history.
+  std::vector<Address> joiners;
+  for (const Address& m : view_.members()) {
+    if (!old.contains(m)) joiners.push_back(m);
+  }
+  if (joiners.empty()) return;
+  Writer w;
+  w.u8(kSnapshotTag);
+  w.varint(version_);
+  w.varint(data_.size());
+  for (const auto& [k, v] : data_) {
+    w.str(k);
+    w.str(v);
+  }
+  ep_->send(gid_, joiners, Message::from_payload(w.take()));
+}
+
+void ReplicatedMap::install_snapshot(ByteSpan snap) {
+  try {
+    Reader r(snap);
+    r.u8();  // tag
+    version_ = r.varint();
+    std::uint64_t n = r.varint();
+    data_.clear();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      std::string k = r.str();
+      data_[k] = r.str();
+    }
+  } catch (const DecodeError&) {
+    return;  // malformed snapshot: keep waiting (sender will be reelected)
+  }
+  awaiting_snapshot_ = false;
+  ready_ = true;
+  for (const Bytes& op : buffered_) apply(op);
+  buffered_.clear();
+}
+
+void ReplicatedMap::apply(ByteSpan op) {
+  try {
+    Reader r(op);
+    std::uint8_t kind = r.u8();
+    std::string key = r.str();
+    if (kind == kOpSet) {
+      data_[key] = r.str();
+    } else if (kind == kOpErase) {
+      data_.erase(key);
+    } else {
+      return;  // foreign payload in our group: ignore
+    }
+    ++version_;
+    if (on_apply_) on_apply_();
+  } catch (const DecodeError&) {
+    // Not one of our operations: ignore.
+  }
+}
+
+}  // namespace horus::tools

@@ -1,0 +1,75 @@
+// ReplicatedMap: Isis-style replicated data over Horus (paper Section 1:
+// "tools for locking and replicating data ... primary-backup
+// fault-tolerance"; Section 9: "it is straightforward to implement
+// replicated data ... in Horus").
+//
+// A string->string map replicated by state machine replication over
+// totally ordered multicast, with automatic **state transfer** to joiners:
+// when a view adds new members, the oldest incumbent snapshots its state
+// *inside the VIEW upcall* -- a consistent cut under virtual synchrony,
+// since every old-view message has been applied and no new-view message
+// has -- and sends it to each joiner; the joiner buffers new-view
+// operations until the snapshot lands, then replays them. All replicas
+// therefore apply the same operations in the same order from the same
+// starting state.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "horus/core/endpoint.hpp"
+
+namespace horus::tools {
+
+class ReplicatedMap {
+ public:
+  /// Attach to `ep` (which must run a total-order + virtual-synchrony
+  /// stack, e.g. "TOTAL:MBRSHIP:FRAG:NAK:COM"). Call bootstrap() or
+  /// join_via() next. The map installs itself as the endpoint's upcall
+  /// handler for this group; forward other groups' events via `fallback`.
+  ReplicatedMap(Endpoint& ep, GroupId gid,
+                Endpoint::UpcallHandler fallback = {});
+
+  void bootstrap() { ep_->join(gid_); }
+  void join_via(Address contact) { ep_->join(gid_, contact); }
+
+  // -- replicated operations (ordered, applied at every replica) -----------
+
+  void set(const std::string& key, const std::string& value);
+  void erase(const std::string& key);
+
+  // -- local reads ------------------------------------------------------------
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+  [[nodiscard]] const std::map<std::string, std::string>& data() const {
+    return data_;
+  }
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+  [[nodiscard]] bool ready() const { return ready_; }
+  [[nodiscard]] std::string digest() const;
+
+  /// Invoked after every applied operation (for tests/monitoring).
+  void on_apply(std::function<void()> cb) { on_apply_ = std::move(cb); }
+
+ private:
+  void handle(Group& g, UpEvent& ev);
+  void apply(ByteSpan op);
+  void send_snapshots(const View& v);
+  void install_snapshot(ByteSpan snap);
+
+  Endpoint* ep_;
+  GroupId gid_;
+  Endpoint::UpcallHandler fallback_;
+  std::map<std::string, std::string> data_;
+  std::uint64_t version_ = 0;      ///< operations applied
+  bool ready_ = false;             ///< joiners: snapshot received (or founder)
+  bool awaiting_snapshot_ = false;
+  std::vector<Bytes> buffered_;    ///< ops held until the snapshot arrives
+  View view_;
+  std::function<void()> on_apply_;
+};
+
+}  // namespace horus::tools

@@ -1,0 +1,61 @@
+// Bit-granular field packing, used by the compacted header codec.
+//
+// Section 10 of the paper proposes that, instead of each layer pushing its
+// own word-aligned header, a layer should declare the fields it needs "in
+// terms of size and alignment, both specified in bits", and the stack should
+// precompute a single compacted header. BitLayout is that precomputation:
+// it assigns a bit offset to every (layer, field) pair, and get/set access
+// the packed region directly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "horus/util/bytes.hpp"
+
+namespace horus {
+
+/// Write `bits` low-order bits of `value` at bit offset `off` in `buf`.
+/// The buffer must already be large enough. bits must be 1..64.
+void bits_set(MutByteSpan buf, std::size_t off, int bits, std::uint64_t value);
+
+/// Read `bits` bits starting at bit offset `off`.
+std::uint64_t bits_get(ByteSpan buf, std::size_t off, int bits);
+
+/// Declaration of one header field: a name (diagnostics only) and a width.
+struct FieldSpec {
+  std::string name;
+  int bits = 0;
+};
+
+/// A compiled bit-packed layout over a list of field groups (one group per
+/// protocol layer in a stack).
+class BitLayout {
+ public:
+  BitLayout() = default;
+
+  /// Append a group of fields; returns the group index.
+  std::size_t add_group(const std::vector<FieldSpec>& fields);
+
+  /// Total size of the packed region, in bytes (rounded up once, for the
+  /// whole stack -- this is the point of the compaction).
+  [[nodiscard]] std::size_t byte_size() const { return (total_bits_ + 7) / 8; }
+  [[nodiscard]] std::size_t bit_size() const { return total_bits_; }
+  [[nodiscard]] std::size_t group_count() const { return groups_.size(); }
+
+  void set(MutByteSpan region, std::size_t group, std::size_t field,
+           std::uint64_t value) const;
+  [[nodiscard]] std::uint64_t get(ByteSpan region, std::size_t group,
+                                  std::size_t field) const;
+
+ private:
+  struct Slot {
+    std::size_t offset;
+    int bits;
+  };
+  std::vector<std::vector<Slot>> groups_;
+  std::size_t total_bits_ = 0;
+};
+
+}  // namespace horus

@@ -1,0 +1,31 @@
+// Basic byte-buffer vocabulary types shared by every Horus module.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace horus {
+
+/// Owned, contiguous byte buffer.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning read-only view over bytes.
+using ByteSpan = std::span<const std::uint8_t>;
+
+/// Non-owning mutable view over bytes.
+using MutByteSpan = std::span<std::uint8_t>;
+
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+inline std::string to_string(ByteSpan b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+/// Hex-dump a byte span (for logs and test diagnostics).
+std::string hex(ByteSpan b);
+
+}  // namespace horus

@@ -1,0 +1,97 @@
+#include "horus/util/compress.hpp"
+
+#include <cstring>
+
+#include "horus/util/serialize.hpp"
+
+namespace horus {
+namespace {
+
+// Token format:
+//   literal run:  varint(len << 1 | 0), then len raw bytes
+//   match:        varint(len << 1 | 1), varint(distance)
+// Stream prefix: varint(uncompressed size).
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxDistance = 1 << 16;
+constexpr std::size_t kHashSize = 1 << 13;
+
+std::size_t hash4(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761U) >> (32 - 13);
+}
+
+}  // namespace
+
+Bytes compress(ByteSpan data) {
+  Writer w;
+  w.varint(data.size());
+  if (data.empty()) return w.take();
+
+  std::size_t head[kHashSize];
+  std::memset(head, 0xff, sizeof head);
+  const std::uint8_t* base = data.data();
+  std::size_t n = data.size();
+  std::size_t i = 0;
+  std::size_t lit_start = 0;
+
+  auto flush_literals = [&](std::size_t end) {
+    if (end > lit_start) {
+      std::size_t len = end - lit_start;
+      w.varint(len << 1);
+      w.raw(data.subspan(lit_start, len));
+    }
+  };
+
+  while (i + kMinMatch <= n) {
+    std::size_t h = hash4(base + i);
+    std::size_t cand = head[h];
+    head[h] = i;
+    if (cand != static_cast<std::size_t>(-1) && i - cand <= kMaxDistance &&
+        std::memcmp(base + cand, base + i, kMinMatch) == 0) {
+      std::size_t len = kMinMatch;
+      while (i + len < n && base[cand + len] == base[i + len]) ++len;
+      flush_literals(i);
+      w.varint((len << 1) | 1);
+      w.varint(i - cand);
+      // Index a few positions inside the match so later matches are found.
+      std::size_t stop = i + len;
+      for (std::size_t j = i + 1; j + kMinMatch <= stop && j + kMinMatch <= n; ++j) {
+        head[hash4(base + j)] = j;
+      }
+      i = stop;
+      lit_start = i;
+    } else {
+      ++i;
+    }
+  }
+  flush_literals(n);
+  return w.take();
+}
+
+Bytes decompress(ByteSpan data) {
+  Reader r(data);
+  std::uint64_t out_size = r.varint();
+  if (out_size > (1ULL << 30)) throw DecodeError("decompress: size too large");
+  Bytes out;
+  out.reserve(out_size);
+  while (out.size() < out_size) {
+    std::uint64_t tok = r.varint();
+    std::uint64_t len = tok >> 1;
+    if (len == 0 || out.size() + len > out_size) throw DecodeError("decompress: bad token");
+    if (tok & 1) {
+      std::uint64_t dist = r.varint();
+      if (dist == 0 || dist > out.size()) throw DecodeError("decompress: bad distance");
+      std::size_t src = out.size() - dist;
+      for (std::uint64_t k = 0; k < len; ++k) out.push_back(out[src + k]);
+    } else {
+      ByteSpan lit = r.raw(len);
+      out.insert(out.end(), lit.begin(), lit.end());
+    }
+  }
+  if (r.remaining() != 0) throw DecodeError("decompress: trailing bytes");
+  return out;
+}
+
+}  // namespace horus

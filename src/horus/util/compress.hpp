@@ -1,0 +1,22 @@
+// Byte-oriented compression for the COMPRESS layer (Section 2's
+// "compression -- to improve bandwidth use").
+//
+// The codec is a small LZ77-style scheme (hash-chain match finder, 64 KiB
+// window) with an RLE fast path. It is self-framing: decompress() rejects
+// malformed input with DecodeError rather than crashing, since the input
+// arrives off the wire.
+#pragma once
+
+#include "horus/util/bytes.hpp"
+
+namespace horus {
+
+/// Compress `data`. The output always round-trips through decompress().
+/// The caller decides whether the result is worth using (it may be larger
+/// than the input for incompressible data).
+Bytes compress(ByteSpan data);
+
+/// Inverse of compress(). Throws DecodeError on malformed input.
+Bytes decompress(ByteSpan data);
+
+}  // namespace horus

@@ -1,0 +1,33 @@
+#include "horus/util/crc32.hpp"
+
+#include <array>
+
+namespace horus {
+namespace {
+
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xedb88320U ^ (c >> 1) : c >> 1;
+    t[i] = c;
+  }
+  return t;
+}
+
+const std::array<std::uint32_t, 256>& table() {
+  static const auto t = make_table();
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t crc, ByteSpan data) {
+  crc ^= 0xffffffffU;
+  for (auto b : data) crc = table()[(crc ^ b) & 0xff] ^ (crc >> 8);
+  return crc ^ 0xffffffffU;
+}
+
+std::uint32_t crc32(ByteSpan data) { return crc32_update(0, data); }
+
+}  // namespace horus

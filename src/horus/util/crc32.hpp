@@ -1,0 +1,17 @@
+// CRC-32 (IEEE 802.3 polynomial), used by the CHKSUM layer to detect
+// garbled messages (property P10 in the paper's Table 4).
+#pragma once
+
+#include <cstdint>
+
+#include "horus/util/bytes.hpp"
+
+namespace horus {
+
+/// One-shot CRC-32 over a byte span.
+std::uint32_t crc32(ByteSpan data);
+
+/// Incremental CRC-32: continue a running checksum.
+std::uint32_t crc32_update(std::uint32_t crc, ByteSpan data);
+
+}  // namespace horus

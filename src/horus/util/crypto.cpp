@@ -1,0 +1,38 @@
+#include "horus/util/crypto.hpp"
+
+#include "horus/util/rng.hpp"
+
+namespace horus {
+
+std::uint64_t mac64(const Key& key, ByteSpan data) {
+  // Multiply-xor chain seeded by the key; finalized with SplitMix64's mixer.
+  // Both key halves are folded into the seed AND the multiplier, and the
+  // multiplier is pre-mixed so that adjacent key values diverge.
+  std::uint64_t h = key.hi ^ (key.lo * 0x9e3779b97f4a7c15ULL) ^
+                    0x9e3779b97f4a7c15ULL;
+  std::uint64_t k = (key.lo ^ (key.hi >> 7) ^ (key.lo << 23)) * 2 + 1;
+  for (auto b : data) {
+    h ^= b;
+    h *= k;
+    h = (h << 13) | (h >> 51);
+  }
+  h ^= data.size();
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+Bytes stream_xor(const Key& key, std::uint64_t nonce, ByteSpan data) {
+  Rng ks(key.hi ^ (key.lo * 0x2545f4914f6cdd1dULL) ^ nonce);
+  Bytes out(data.begin(), data.end());
+  std::size_t i = 0;
+  while (i < out.size()) {
+    std::uint64_t w = ks.next_u64();
+    for (int k = 0; k < 8 && i < out.size(); ++k, ++i) {
+      out[i] ^= static_cast<std::uint8_t>(w >> (8 * k));
+    }
+  }
+  return out;
+}
+
+}  // namespace horus

@@ -1,0 +1,32 @@
+// Lightweight keyed primitives for the SIGN and ENCRYPT layers.
+//
+// These are deliberately simple, self-contained constructions: the paper's
+// point (Section 2) is that signing/encryption are just more layers in the
+// stack, not that a particular cipher is used. Mac64 is a keyed
+// multiply-xor hash (siphash-flavoured, NOT cryptographically strong);
+// StreamCipher is a xoshiro-keystream XOR cipher with a per-message nonce.
+// Both are documented as toy primitives; swapping in real crypto only
+// changes this file.
+#pragma once
+
+#include <cstdint>
+
+#include "horus/util/bytes.hpp"
+
+namespace horus {
+
+/// 128-bit symmetric key shared by all members of a secure group.
+struct Key {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  friend bool operator==(const Key&, const Key&) = default;
+};
+
+/// Keyed 64-bit message authentication code.
+std::uint64_t mac64(const Key& key, ByteSpan data);
+
+/// XOR-keystream cipher. Encryption and decryption are the same operation.
+/// The nonce must be unique per message under a given key.
+Bytes stream_xor(const Key& key, std::uint64_t nonce, ByteSpan data);
+
+}  // namespace horus

@@ -1,0 +1,47 @@
+#include "horus/util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace horus {
+namespace {
+
+LogLevel initial_level() {
+  const char* env = std::getenv("HORUS_LOG");
+  if (env == nullptr) return LogLevel::kOff;
+  if (std::strcmp(env, "trace") == 0) return LogLevel::kTrace;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  return LogLevel::kOff;
+}
+
+std::atomic<LogLevel>& level_ref() {
+  static std::atomic<LogLevel> lvl{initial_level()};
+  return lvl;
+}
+
+const char* name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+void Log::set_level(LogLevel lvl) { level_ref().store(lvl); }
+LogLevel Log::level() { return level_ref().load(); }
+
+void Log::write(LogLevel lvl, const std::string& component, const std::string& msg) {
+  std::fprintf(stderr, "[%s] %s: %s\n", name(lvl), component.c_str(), msg.c_str());
+}
+
+}  // namespace horus

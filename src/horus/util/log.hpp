@@ -1,0 +1,51 @@
+// Minimal leveled logger. Off by default so tests and benchmarks stay
+// quiet; enable with Log::set_level or the HORUS_LOG environment variable
+// (trace|debug|info|warn|error).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace horus {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Log {
+ public:
+  static void set_level(LogLevel lvl);
+  static LogLevel level();
+  static bool enabled(LogLevel lvl) { return lvl >= level(); }
+  static void write(LogLevel lvl, const std::string& component,
+                    const std::string& msg);
+};
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel lvl, const char* component) : lvl_(lvl), component_(component) {}
+  ~LogLine() { Log::write(lvl_, component_, os_.str()); }
+  template <class T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel lvl_;
+  const char* component_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace horus
+
+#define HORUS_LOG(lvl, component)                 \
+  if (!::horus::Log::enabled(lvl)) {              \
+  } else                                          \
+    ::horus::detail::LogLine(lvl, component)
+
+#define HLOG_TRACE(c) HORUS_LOG(::horus::LogLevel::kTrace, c)
+#define HLOG_DEBUG(c) HORUS_LOG(::horus::LogLevel::kDebug, c)
+#define HLOG_INFO(c) HORUS_LOG(::horus::LogLevel::kInfo, c)
+#define HLOG_WARN(c) HORUS_LOG(::horus::LogLevel::kWarn, c)
+#define HLOG_ERROR(c) HORUS_LOG(::horus::LogLevel::kError, c)

@@ -1,0 +1,118 @@
+#include "horus/util/serialize.hpp"
+
+namespace horus {
+
+void Writer::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void Writer::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void Writer::bytes(ByteSpan b) {
+  varint(b.size());
+  raw(b);
+}
+
+void Writer::raw(ByteSpan b) { buf_.insert(buf_.end(), b.begin(), b.end()); }
+
+void Writer::str(std::string_view s) {
+  varint(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+std::uint8_t Reader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t Reader::u16() {
+  need(2);
+  std::uint16_t v = static_cast<std::uint16_t>(data_[pos_]) |
+                    static_cast<std::uint16_t>(data_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t Reader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+std::uint64_t Reader::varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    need(1);
+    std::uint8_t b = data_[pos_++];
+    if (shift >= 64) throw DecodeError("varint overflow");
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+Bytes Reader::bytes() {
+  auto v = bytes_view();
+  return Bytes(v.begin(), v.end());
+}
+
+ByteSpan Reader::bytes_view() {
+  std::size_t n = varint();
+  return raw(n);
+}
+
+ByteSpan Reader::raw(std::size_t n) {
+  need(n);
+  ByteSpan v = data_.subspan(pos_, n);
+  pos_ += n;
+  return v;
+}
+
+std::string Reader::str() {
+  auto v = bytes_view();
+  return std::string(reinterpret_cast<const char*>(v.data()), v.size());
+}
+
+void Reader::skip(std::size_t n) {
+  need(n);
+  pos_ += n;
+}
+
+std::string hex(ByteSpan b) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(b.size() * 2);
+  for (auto c : b) {
+    out.push_back(digits[c >> 4]);
+    out.push_back(digits[c & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace horus

@@ -1,0 +1,81 @@
+// Binary serialization used for every on-the-wire structure.
+//
+// Fixed-width integers are little-endian; varints use LEB128. Readers are
+// bounds-checked: reading past the end raises DecodeError, which protocol
+// layers translate into dropping the (garbled) message.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "horus/util/bytes.hpp"
+
+namespace horus {
+
+/// Thrown when a Reader runs out of bytes or a value is malformed.
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Append-only binary encoder.
+class Writer {
+ public:
+  Writer() = default;
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void varint(std::uint64_t v);
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  /// Length-prefixed byte string.
+  void bytes(ByteSpan b);
+  /// Raw bytes, no length prefix.
+  void raw(ByteSpan b);
+  void str(std::string_view s);
+
+  [[nodiscard]] const Bytes& data() const { return buf_; }
+  [[nodiscard]] Bytes take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Bounds-checked binary decoder over a non-owning view.
+class Reader {
+ public:
+  explicit Reader(ByteSpan b) : data_(b) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::uint64_t varint();
+  bool boolean() { return u8() != 0; }
+
+  /// Length-prefixed byte string (copies out).
+  Bytes bytes();
+  /// Length-prefixed byte string as a view into the underlying buffer.
+  ByteSpan bytes_view();
+  /// Raw bytes, no length prefix.
+  ByteSpan raw(std::size_t n);
+  std::string str();
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] std::size_t position() const { return pos_; }
+  [[nodiscard]] ByteSpan rest() const { return data_.subspan(pos_); }
+  void skip(std::size_t n);
+
+ private:
+  void need(std::size_t n) const {
+    if (remaining() < n) throw DecodeError("reader underflow");
+  }
+  ByteSpan data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace horus

@@ -1,0 +1,120 @@
+// Shared helpers for Horus tests: a recording application sink and a
+// small world-builder over HorusSystem.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "horus/api/system.hpp"
+
+namespace horus::testing {
+
+constexpr GroupId kGroup{42};
+
+/// Records everything the application sees from one endpoint.
+struct AppLog {
+  struct Delivery {
+    Address source;
+    std::uint64_t msg_id;
+    std::string payload;
+  };
+  std::vector<Delivery> casts;
+  std::vector<Delivery> sends;
+  std::vector<View> views;
+  std::vector<StabilityMatrix> stability;
+  std::vector<Address> problems;
+  std::vector<std::uint64_t> lost;  // msg ids of LOST_MESSAGE placeholders
+  int exits = 0;
+  int flushes = 0;
+
+  void attach(Endpoint& ep) {
+    ep.on_upcall([this](Group&, UpEvent& ev) {
+      switch (ev.type) {
+        case UpType::kCast:
+          casts.push_back({ev.source, ev.msg_id, ev.msg.payload_string()});
+          break;
+        case UpType::kSend:
+          sends.push_back({ev.source, ev.msg_id, ev.msg.payload_string()});
+          break;
+        case UpType::kView:
+          views.push_back(ev.view);
+          break;
+        case UpType::kStable:
+          stability.push_back(ev.stability);
+          break;
+        case UpType::kProblem:
+          problems.push_back(ev.source);
+          break;
+        case UpType::kLostMessage:
+          lost.push_back(ev.msg_id);
+          break;
+        case UpType::kExit:
+          ++exits;
+          break;
+        case UpType::kFlush:
+          ++flushes;
+          break;
+        default:
+          break;
+      }
+    });
+  }
+
+  /// Payloads of casts from one sender, in delivery order.
+  std::vector<std::string> casts_from(Address src) const {
+    std::vector<std::string> out;
+    for (const auto& d : casts) {
+      if (d.source == src) out.push_back(d.payload);
+    }
+    return out;
+  }
+
+  std::vector<std::string> all_cast_payloads() const {
+    std::vector<std::string> out;
+    out.reserve(casts.size());
+    for (const auto& d : casts) out.push_back(d.payload);
+    return out;
+  }
+};
+
+/// A world of n endpoints running the same stack, with app logs attached.
+struct World {
+  explicit World(std::size_t n, const std::string& spec,
+                 HorusSystem::Options opts = {}) : sys(opts) {
+    logs.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      eps.push_back(&sys.create_endpoint(spec));
+      logs[i].attach(*eps[i]);
+    }
+  }
+
+  /// Bootstrap member 0, join the rest through it, run until views settle.
+  void form_group(sim::Duration settle = 2 * sim::kSecond) {
+    eps[0]->join(kGroup);
+    sys.run_for(50 * sim::kMillisecond);
+    for (std::size_t i = 1; i < eps.size(); ++i) {
+      eps[i]->join(kGroup, eps[0]->address());
+      sys.run_for(50 * sim::kMillisecond);
+    }
+    sys.run_for(settle);
+  }
+
+  /// True when every (non-crashed) endpoint's latest view has all n members.
+  bool converged() const {
+    for (std::size_t i = 0; i < eps.size(); ++i) {
+      if (eps[i]->crashed()) continue;
+      if (logs[i].views.empty()) return false;
+      if (logs[i].views.back().size() != eps.size()) return false;
+    }
+    return true;
+  }
+
+  HorusSystem sys;
+  std::vector<Endpoint*> eps;
+  std::vector<AppLog> logs;
+};
+
+}  // namespace horus::testing

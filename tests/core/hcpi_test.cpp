@@ -1,0 +1,102 @@
+// The Horus Common Protocol Interface vocabulary: every downcall of
+// Table 1 and every upcall of Table 2 must exist, carry the paper's
+// wording, and round-trip through the event structs.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "horus/core/events.hpp"
+
+namespace horus {
+namespace {
+
+TEST(Hcpi, Table1DowncallsComplete) {
+  // The fifteen downcalls of Table 1.
+  const auto& all = all_downcalls();
+  EXPECT_EQ(all.size(), 15u);
+  std::set<std::string> names;
+  for (DownType t : all) names.insert(to_string(t));
+  for (const char* expected :
+       {"endpoint-implied", "join", "merge", "merge_denied", "merge_granted",
+        "view", "cast", "send", "ack", "stable", "leave", "flush", "flush_ok",
+        "destroy", "focus", "dump"}) {
+    if (std::string(expected) == "endpoint-implied") continue;  // ctor, not enum
+    EXPECT_TRUE(names.contains(expected)) << expected;
+  }
+}
+
+TEST(Hcpi, Table2UpcallsComplete) {
+  const auto& all = all_upcalls();
+  EXPECT_EQ(all.size(), 14u);
+  std::set<std::string> names;
+  for (UpType t : all) names.insert(to_string(t));
+  for (const char* expected :
+       {"MERGE_REQUEST", "MERGE_DENIED", "FLUSH", "FLUSH_OK", "VIEW", "CAST",
+        "SEND", "LEAVE", "DESTROY", "LOST_MESSAGE", "STABLE", "PROBLEM",
+        "SYSTEM_ERROR", "EXIT"}) {
+    EXPECT_TRUE(names.contains(expected)) << expected;
+  }
+}
+
+TEST(Hcpi, DescriptionsMatchPaperTables) {
+  EXPECT_STREQ(describe(DownType::kJoin), "join group and return handle");
+  EXPECT_STREQ(describe(DownType::kCast), "multicast a message");
+  EXPECT_STREQ(describe(DownType::kSend), "send message to subset");
+  EXPECT_STREQ(describe(DownType::kAck), "acknowledge a message");
+  EXPECT_STREQ(describe(DownType::kFlush), "remove members and flush");
+  EXPECT_STREQ(describe(UpType::kCast), "received multicast message");
+  EXPECT_STREQ(describe(UpType::kStable), "stability update");
+  EXPECT_STREQ(describe(UpType::kLostMessage), "message was lost");
+  EXPECT_STREQ(describe(UpType::kProblem), "communication problem");
+}
+
+TEST(Hcpi, EveryCallHasNameAndDescription) {
+  for (DownType t : all_downcalls()) {
+    EXPECT_STRNE(to_string(t), "?");
+    EXPECT_STRNE(describe(t), "?");
+  }
+  for (UpType t : all_upcalls()) {
+    EXPECT_STRNE(to_string(t), "?");
+    EXPECT_STRNE(describe(t), "?");
+  }
+}
+
+TEST(Hcpi, StabilityMatrixStablePrefix) {
+  StabilityMatrix sm;
+  sm.view = View(ViewId{1, Address{1}}, {Address{1}, Address{2}, Address{3}});
+  sm.acked = {{5, 2, 9}, {4, 3, 9}, {6, 2, 8}};
+  auto prefix = sm.stable_prefix();
+  ASSERT_EQ(prefix.size(), 3u);
+  EXPECT_EQ(prefix[0], 4u);  // min of column 0
+  EXPECT_EQ(prefix[1], 2u);
+  EXPECT_EQ(prefix[2], 8u);
+}
+
+TEST(Hcpi, StabilityMatrixEmpty) {
+  StabilityMatrix sm;
+  sm.view = View(ViewId{1, Address{1}}, {Address{1}});
+  auto prefix = sm.stable_prefix();
+  ASSERT_EQ(prefix.size(), 1u);
+  EXPECT_EQ(prefix[0], 0u);
+}
+
+TEST(Hcpi, StabilityMatrixRaggedRowsTreatedAsZero) {
+  StabilityMatrix sm;
+  sm.view = View(ViewId{1, Address{1}}, {Address{1}, Address{2}});
+  sm.acked = {{7}};  // row shorter than the view
+  auto prefix = sm.stable_prefix();
+  EXPECT_EQ(prefix[0], 7u);
+  EXPECT_EQ(prefix[1], 0u);
+}
+
+TEST(Hcpi, EventStructsDefaultSane) {
+  UpEvent up;
+  EXPECT_EQ(up.type, UpType::kCast);
+  EXPECT_FALSE(up.source.valid());
+  DownEvent down;
+  EXPECT_EQ(down.type, DownType::kCast);
+  EXPECT_TRUE(down.dests.empty());
+}
+
+}  // namespace
+}  // namespace horus

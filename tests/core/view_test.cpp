@@ -1,0 +1,96 @@
+#include "horus/core/view.hpp"
+
+#include <gtest/gtest.h>
+
+namespace horus {
+namespace {
+
+View sample() {
+  return View(ViewId{3, Address{1}}, {Address{1}, Address{5}, Address{2}});
+}
+
+TEST(View, RankReflectsSeniority) {
+  View v = sample();
+  EXPECT_EQ(v.rank_of(Address{1}), 0u);
+  EXPECT_EQ(v.rank_of(Address{5}), 1u);
+  EXPECT_EQ(v.rank_of(Address{2}), 2u);
+  EXPECT_FALSE(v.rank_of(Address{9}).has_value());
+  EXPECT_EQ(v.oldest(), Address{1});
+}
+
+TEST(View, ContainsAndSize) {
+  View v = sample();
+  EXPECT_TRUE(v.contains(Address{5}));
+  EXPECT_FALSE(v.contains(Address{4}));
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_FALSE(v.empty());
+  EXPECT_TRUE(View().empty());
+}
+
+TEST(View, SuccessorRemovesFailedKeepsOrder) {
+  View v = sample();
+  View next = v.successor({Address{5}}, {}, Address{1});
+  EXPECT_EQ(next.id().seq, 4u);
+  EXPECT_EQ(next.id().coordinator, Address{1});
+  ASSERT_EQ(next.size(), 2u);
+  EXPECT_EQ(next.member(0), Address{1});
+  EXPECT_EQ(next.member(1), Address{2});
+}
+
+TEST(View, SuccessorAppendsJoinersSorted) {
+  View v = sample();
+  View next = v.successor({}, {Address{9}, Address{7}}, Address{1});
+  ASSERT_EQ(next.size(), 5u);
+  // Survivors keep seniority order; joiners appended sorted.
+  EXPECT_EQ(next.member(0), Address{1});
+  EXPECT_EQ(next.member(3), Address{7});
+  EXPECT_EQ(next.member(4), Address{9});
+}
+
+TEST(View, SuccessorDeduplicatesJoiners) {
+  View v = sample();
+  View next = v.successor({}, {Address{5}}, Address{1});  // already in
+  EXPECT_EQ(next.size(), 3u);
+}
+
+TEST(View, SuccessorFailedAndJoiningSimultaneously) {
+  View v = sample();
+  View next = v.successor({Address{1}}, {Address{8}}, Address{5});
+  EXPECT_EQ(next.oldest(), Address{5}) << "next-oldest takes rank 0";
+  EXPECT_TRUE(next.contains(Address{8}));
+  EXPECT_FALSE(next.contains(Address{1}));
+}
+
+TEST(View, EncodeDecodeRoundTrip) {
+  View v = sample();
+  Writer w;
+  v.encode(w);
+  Reader r(w.data());
+  View back = View::decode(r);
+  EXPECT_EQ(back, v);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(View, DecodeRejectsHugeMemberCount) {
+  Writer w;
+  w.u64(1);
+  w.u64(1);
+  w.varint(100'000'000);  // absurd member count
+  Reader r(w.data());
+  EXPECT_THROW(View::decode(r), DecodeError);
+}
+
+TEST(View, ViewIdOrdering) {
+  ViewId a{1, Address{1}};
+  ViewId b{2, Address{1}};
+  EXPECT_LT(a, b);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, (ViewId{1, Address{1}}));
+}
+
+TEST(View, ToStringIsReadable) {
+  EXPECT_EQ(sample().to_string(), "v3@ep1[ep1,ep5,ep2]");
+}
+
+}  // namespace
+}  // namespace horus

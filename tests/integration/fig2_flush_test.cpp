@@ -1,0 +1,140 @@
+// The exact scenario of the paper's Figure 2:
+//
+//   "This picture shows four processes: A, B, C, and D. D crashes right
+//    after sending a message M, and only C received a copy. After the
+//    crash is detected, A starts the flush protocol by multicasting to B
+//    and C. C sends a copy of M to A, which forwards it to B. After A has
+//    received replies from everyone, it installs a new view by
+//    multicasting."
+//
+// The virtual synchrony obligation: even though D crashed and only C held
+// M, every surviving member (A, B, C) must deliver M before installing the
+// view that excludes D.
+#include "../common/test_util.hpp"
+
+namespace horus::testing {
+namespace {
+
+class Fig2Test : public ::testing::Test {
+ protected:
+  // A quiet network (no random loss) so we can surgically control who
+  // receives M, exactly as in the figure.
+  Fig2Test() : w(4, "MBRSHIP:FRAG:NAK:COM", quiet()) {}
+
+  static HorusSystem::Options quiet() {
+    HorusSystem::Options o;
+    o.net.loss = 0.0;
+    return o;
+  }
+
+  void form() {
+    w.form_group();
+    ASSERT_TRUE(w.converged());
+  }
+
+  World w;
+};
+
+TEST_F(Fig2Test, UnstableMessageSurvivesSenderCrash) {
+  form();
+  Endpoint* A = w.eps[0];
+  Endpoint* B = w.eps[1];
+  Endpoint* C = w.eps[2];
+  Endpoint* D = w.eps[3];
+
+  // D sends M, but the datagrams to A and B are lost; only C (and D
+  // itself, but it is about to die) receive a copy. We use total loss on
+  // the D->A and D->B links for the instant of the send.
+  sim::LinkParams dead;
+  dead.loss = 1.0;
+  w.sys.net().set_link_params(D->address().id, A->address().id, dead);
+  w.sys.net().set_link_params(D->address().id, B->address().id, dead);
+  D->cast(kGroup, Message::from_string("M"));
+  // Let the datagrams fly (C's copy arrives; A's and B's are dropped),
+  // then crash D before any retransmission can happen.
+  w.sys.run_for(1 * sim::kMillisecond);
+  w.sys.crash(*D);
+
+  // The crash is detected, A (the oldest survivor) coordinates the flush,
+  // C contributes its copy of M, and the new view excludes D.
+  w.sys.run_for(5 * sim::kSecond);
+
+  for (int i : {0, 1, 2}) {
+    SCOPED_TRACE("member " + std::to_string(i));
+    // Everyone delivered M exactly once...
+    auto from_d = w.logs[i].casts_from(D->address());
+    ASSERT_EQ(from_d.size(), 1u);
+    EXPECT_EQ(from_d[0], "M");
+    // ...and installed a 3-member view excluding D.
+    ASSERT_FALSE(w.logs[i].views.empty());
+    const View& v = w.logs[i].views.back();
+    EXPECT_EQ(v.size(), 3u);
+    EXPECT_FALSE(v.contains(D->address()));
+  }
+  // All survivors agree on the final view.
+  EXPECT_EQ(w.logs[0].views.back(), w.logs[1].views.back());
+  EXPECT_EQ(w.logs[1].views.back(), w.logs[2].views.back());
+}
+
+TEST_F(Fig2Test, CoordinatorIsOldestSurvivor) {
+  form();
+  // The view orders members by seniority; rank 0 is the bootstrap member.
+  const View& v = w.logs[0].views.back();
+  EXPECT_EQ(v.oldest(), w.eps[0]->address());
+  // Crash the oldest: the flush must still complete, coordinated by the
+  // next-oldest (member 1), and the installed view records it.
+  w.sys.crash(*w.eps[0]);
+  w.sys.run_for(5 * sim::kSecond);
+  for (int i : {1, 2, 3}) {
+    ASSERT_FALSE(w.logs[i].views.empty());
+    const View& nv = w.logs[i].views.back();
+    EXPECT_EQ(nv.size(), 3u);
+    EXPECT_EQ(nv.oldest(), w.eps[1]->address());
+    EXPECT_EQ(nv.id().coordinator, w.eps[1]->address());
+  }
+}
+
+TEST_F(Fig2Test, MessageDeliveredBeforeViewChange) {
+  form();
+  Endpoint* D = w.eps[3];
+  // Record interleaving of deliveries and views at member B.
+  std::vector<std::string> events;
+  w.eps[1]->on_upcall([&](Group&, UpEvent& ev) {
+    if (ev.type == UpType::kCast) events.push_back("cast:" + ev.msg.payload_string());
+    if (ev.type == UpType::kView) events.push_back("view:" + std::to_string(ev.view.size()));
+  });
+  sim::LinkParams dead;
+  dead.loss = 1.0;
+  w.sys.net().set_link_params(D->address().id, w.eps[0]->address().id, dead);
+  w.sys.net().set_link_params(D->address().id, w.eps[1]->address().id, dead);
+  D->cast(kGroup, Message::from_string("M"));
+  w.sys.run_for(1 * sim::kMillisecond);
+  w.sys.crash(*D);
+  w.sys.run_for(5 * sim::kSecond);
+  // B must see M strictly before the 3-member view: "messages sent in the
+  // current view are delivered to the surviving members of the current
+  // view".
+  auto cast_it = std::find(events.begin(), events.end(), "cast:M");
+  auto view_it = std::find(events.begin(), events.end(), "view:3");
+  ASSERT_NE(cast_it, events.end()) << "M never delivered at B";
+  ASSERT_NE(view_it, events.end()) << "view change never happened at B";
+  EXPECT_LT(cast_it - events.begin(), view_it - events.begin())
+      << "M was delivered after the view that excludes its sender";
+}
+
+TEST_F(Fig2Test, StableMessagesAreNotRedelivered) {
+  form();
+  // A message that everyone already has must not be delivered twice by the
+  // flush.
+  w.eps[3]->cast(kGroup, Message::from_string("early"));
+  w.sys.run_for(sim::kSecond);  // fully delivered and gossip-stabilized
+  w.sys.crash(*w.eps[3]);
+  w.sys.run_for(5 * sim::kSecond);
+  for (int i : {0, 1, 2}) {
+    auto got = w.logs[i].casts_from(w.eps[3]->address());
+    EXPECT_EQ(got.size(), 1u) << "member " << i << " saw a redelivery";
+  }
+}
+
+}  // namespace
+}  // namespace horus::testing

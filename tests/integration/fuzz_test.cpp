@@ -1,0 +1,106 @@
+// Adversarial input robustness: blast malformed datagrams at live stacks.
+//
+// Every layer's decode path must treat the wire as hostile: random bytes,
+// truncated real datagrams, bit-flipped real datagrams. Nothing may crash,
+// and (for the checksummed/authenticated stacks) nothing garbled may ever
+// surface as an application delivery.
+#include <set>
+
+#include "../common/test_util.hpp"
+#include "horus/util/rng.hpp"
+
+namespace horus::testing {
+namespace {
+
+class FuzzTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FuzzTest, RandomGarbageNeverCrashes) {
+  HorusSystem::Options o;
+  o.net.loss = 0.0;
+  World w(2, GetParam(), o);
+  bool has_mbrship = std::string(GetParam()).find("MBRSHIP") != std::string::npos;
+  if (has_mbrship) {
+    w.form_group();
+  } else {
+    std::vector<Address> members = {w.eps[0]->address(), w.eps[1]->address()};
+    for (auto* ep : w.eps) {
+      ep->join(kGroup);
+      ep->install_view(kGroup, members);
+    }
+    w.sys.run_for(10 * sim::kMillisecond);
+  }
+  // Inject pure-random datagrams straight at endpoint 1, from a ghost
+  // sender address, interleaved with legitimate traffic.
+  Rng rng(0xf022);
+  for (int i = 0; i < 500; ++i) {
+    Bytes junk(1 + rng.next_below(200), 0);
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next_u64());
+    w.sys.net().send(999, w.eps[1]->address().id, junk);
+    if (i % 50 == 0) {
+      w.eps[0]->cast(kGroup, Message::from_string("legit" + std::to_string(i)));
+    }
+    w.sys.run_for(sim::kMillisecond);
+  }
+  w.sys.run_for(2 * sim::kSecond);
+  // Legitimate traffic still flowed, in order.
+  auto got = w.logs[1].casts_from(w.eps[0]->address());
+  ASSERT_EQ(got.size(), 10u) << "legitimate traffic was disrupted";
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(got[static_cast<std::size_t>(i)], "legit" + std::to_string(i * 50));
+  }
+}
+
+TEST_P(FuzzTest, TruncatedAndFlippedRealDatagramsNeverCrash) {
+  // Capture real datagrams by replaying the same seed twice is overkill;
+  // instead corrupt in the network itself at a violent rate while also
+  // truncating via a tiny MTU on a parallel link... simplest faithful
+  // approach: run traffic through a network that corrupts heavily, then
+  // assert clean deliveries only.
+  HorusSystem::Options o;
+  o.net.loss = 0.0;
+  o.net.corrupt = 0.6;
+  World w(2, GetParam(), o);
+  bool has_mbrship = std::string(GetParam()).find("MBRSHIP") != std::string::npos;
+  std::vector<Address> members = {w.eps[0]->address(), w.eps[1]->address()};
+  if (has_mbrship) {
+    // Form the group on a clean network first, then turn corruption on.
+    sim::LinkParams clean = o.net;
+    clean.corrupt = 0.0;
+    w.sys.net().set_default_params(clean);
+    w.form_group();
+    ASSERT_TRUE(w.converged());
+    w.sys.net().set_default_params(o.net);
+  } else {
+    for (auto* ep : w.eps) {
+      ep->join(kGroup);
+      ep->install_view(kGroup, members);
+    }
+    w.sys.run_for(10 * sim::kMillisecond);
+  }
+  for (int i = 0; i < 100; ++i) {
+    w.eps[0]->cast(kGroup, Message::from_string("payload-abcdefghij"));
+    w.sys.run_for(10 * sim::kMillisecond);
+  }
+  w.sys.run_for(10 * sim::kSecond);
+  // Whatever arrived must be byte-exact (checksummed stacks drop the rest).
+  for (const auto& d : w.logs[1].casts) {
+    EXPECT_EQ(d.payload, "payload-abcdefghij");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Stacks, FuzzTest,
+    ::testing::Values("COM", "NAK:COM", "FRAG:NAK:COM",
+                      "MBRSHIP:FRAG:NAK:COM",
+                      "TOTAL:MBRSHIP:FRAG:NAK:COM",
+                      "COMPRESS:ENCRYPT:SIGN:NAK:CHKSUM:RAWCOM"),
+    [](const auto& info) {
+      std::string n = info.param;
+      for (auto& c : n) {
+        if (c == ':') c = '_';
+      }
+      return n;
+    });
+
+}  // namespace
+}  // namespace horus::testing

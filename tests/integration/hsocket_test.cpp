@@ -1,0 +1,155 @@
+// The Section 11 sockets facade: "a UNIX sendto operation will be mapped
+// to a multicast, and a recvfrom will receive the next incoming message".
+#include <gtest/gtest.h>
+
+#include "horus/api/hsocket.hpp"
+
+namespace horus {
+namespace {
+
+constexpr GroupId kGrp{7};
+constexpr const char* kStack = "MBRSHIP:FRAG:NAK:COM";
+
+HorusSystem::Options quiet() {
+  HorusSystem::Options o;
+  o.net.loss = 0.0;
+  return o;
+}
+
+TEST(HSocket, BindConnectSendRecv) {
+  HorusSystem sys(quiet());
+  HSocket a(sys, kStack);
+  HSocket b(sys, kStack);
+  a.hbind(kGrp);
+  sys.run_for(100 * sim::kMillisecond);
+  b.hconnect(kGrp, a.address());
+  sys.run_for(2 * sim::kSecond);
+  ASSERT_TRUE(a.has_view());
+  ASSERT_TRUE(b.has_view());
+  EXPECT_EQ(a.view().size(), 2u);
+
+  EXPECT_EQ(a.hsendto(to_bytes("over the wall")), 13u);
+  sys.run_for(sim::kSecond);
+
+  // b drains: first the view-change packets, then the datagram.
+  bool got_data = false;
+  while (auto p = b.hrecvfrom()) {
+    if (p->kind == HSocket::Packet::Kind::kData) {
+      EXPECT_EQ(to_string(p->data), "over the wall");
+      EXPECT_EQ(p->source, a.address());
+      got_data = true;
+    }
+  }
+  EXPECT_TRUE(got_data);
+}
+
+TEST(HSocket, RecvFromEmptyIsNullopt) {
+  HorusSystem sys(quiet());
+  HSocket a(sys, kStack);
+  EXPECT_FALSE(a.hrecvfrom().has_value());
+}
+
+TEST(HSocket, ViewChangePacketsDelivered) {
+  HorusSystem sys(quiet());
+  HSocket a(sys, kStack);
+  a.hbind(kGrp);
+  sys.run_for(sim::kSecond);
+  auto p = a.hrecvfrom();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->kind, HSocket::Packet::Kind::kViewChange);
+  EXPECT_EQ(p->view.size(), 1u);
+}
+
+TEST(HSocket, SubsetSend) {
+  HorusSystem sys(quiet());
+  HSocket a(sys, kStack), b(sys, kStack), c(sys, kStack);
+  a.hbind(kGrp);
+  sys.run_for(100 * sim::kMillisecond);
+  b.hconnect(kGrp, a.address());
+  sys.run_for(sim::kSecond);
+  c.hconnect(kGrp, a.address());
+  sys.run_for(2 * sim::kSecond);
+  a.hsendto(to_bytes("only for c"), {c.address()});
+  sys.run_for(sim::kSecond);
+  bool c_got = false;
+  while (auto p = c.hrecvfrom()) {
+    if (p->kind == HSocket::Packet::Kind::kData) c_got = true;
+  }
+  bool b_got = false;
+  while (auto p = b.hrecvfrom()) {
+    if (p->kind == HSocket::Packet::Kind::kData) b_got = true;
+  }
+  EXPECT_TRUE(c_got);
+  EXPECT_FALSE(b_got);
+}
+
+TEST(HSocket, FifoOrderPreserved) {
+  HorusSystem::Options o = quiet();
+  o.net.loss = 0.15;
+  HorusSystem sys(o);
+  HSocket a(sys, kStack), b(sys, kStack);
+  a.hbind(kGrp);
+  sys.run_for(100 * sim::kMillisecond);
+  b.hconnect(kGrp, a.address());
+  sys.run_for(2 * sim::kSecond);
+  for (int i = 0; i < 25; ++i) {
+    a.hsendto(to_bytes("pkt" + std::to_string(i)));
+  }
+  sys.run_for(10 * sim::kSecond);
+  int next = 0;
+  while (auto p = b.hrecvfrom()) {
+    if (p->kind != HSocket::Packet::Kind::kData) continue;
+    if (p->source == a.address()) {
+      EXPECT_EQ(to_string(p->data), "pkt" + std::to_string(next));
+      ++next;
+    }
+  }
+  EXPECT_EQ(next, 25);
+}
+
+TEST(HSocket, CloseLeavesGroup) {
+  HorusSystem sys(quiet());
+  HSocket a(sys, kStack), b(sys, kStack);
+  a.hbind(kGrp);
+  sys.run_for(100 * sim::kMillisecond);
+  b.hconnect(kGrp, a.address());
+  sys.run_for(2 * sim::kSecond);
+  b.hclose();
+  sys.run_for(3 * sim::kSecond);
+  EXPECT_EQ(a.view().size(), 1u);
+  // b received the EXIT packet.
+  bool exited = false;
+  while (auto p = b.hrecvfrom()) {
+    if (p->kind == HSocket::Packet::Kind::kExit) exited = true;
+  }
+  EXPECT_TRUE(exited);
+}
+
+TEST(HSocket, AckFeedsStability) {
+  HorusSystem::Options o = quiet();
+  o.stack.stability_gossip_interval = 20 * sim::kMillisecond;
+  HorusSystem sys(o);
+  const char* stack = "STABLE:MBRSHIP:FRAG:NAK:COM";
+  HSocket a(sys, stack), b(sys, stack);
+  a.hbind(kGrp);
+  sys.run_for(100 * sim::kMillisecond);
+  b.hconnect(kGrp, a.address());
+  sys.run_for(2 * sim::kSecond);
+  a.hsendto(to_bytes("ack me"));
+  sys.run_for(sim::kSecond);
+  // Both sides ack what they received.
+  auto drain_ack = [](HSocket& s) {
+    while (auto p = s.hrecvfrom()) {
+      if (p->kind == HSocket::Packet::Kind::kData) s.hack(p->source, p->id);
+    }
+  };
+  drain_ack(a);
+  drain_ack(b);
+  // The STABLE upcalls are internal to the stack here; we simply require
+  // the sockets to stay healthy (no crash) with the ack path exercised.
+  sys.run_for(2 * sim::kSecond);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace horus

@@ -1,0 +1,163 @@
+// Partition and merge behaviour (Sections 5 and 9).
+//
+// Exercises: extended virtual synchrony (both sides of a partition keep
+// making progress in their own views), the MERGE layer's automatic
+// healing, the merge downcall, and the Isis-style primary-partition
+// policy (the minority blocks).
+#include "../common/test_util.hpp"
+
+namespace horus::testing {
+namespace {
+
+HorusSystem::Options quiet() {
+  HorusSystem::Options o;
+  o.net.loss = 0.0;
+  return o;
+}
+
+TEST(Partition, ExtendedVsBothSidesProgress) {
+  World w(4, "MBRSHIP:FRAG:NAK:COM", quiet());
+  w.form_group();
+  ASSERT_TRUE(w.converged());
+  // Split {0,1} | {2,3}.
+  w.sys.partition({{w.eps[0], w.eps[1]}, {w.eps[2], w.eps[3]}});
+  w.sys.run_for(5 * sim::kSecond);
+  // Each side installed a 2-member view of its own partition.
+  EXPECT_EQ(w.logs[0].views.back().size(), 2u);
+  EXPECT_EQ(w.logs[2].views.back().size(), 2u);
+  EXPECT_TRUE(w.logs[0].views.back().contains(w.eps[1]->address()));
+  EXPECT_TRUE(w.logs[2].views.back().contains(w.eps[3]->address()));
+  // Both sides can still multicast within their partition.
+  std::size_t before0 = w.logs[1].casts.size();
+  std::size_t before2 = w.logs[3].casts.size();
+  w.eps[0]->cast(kGroup, Message::from_string("left"));
+  w.eps[2]->cast(kGroup, Message::from_string("right"));
+  w.sys.run_for(2 * sim::kSecond);
+  EXPECT_GT(w.logs[1].casts.size(), before0);
+  EXPECT_GT(w.logs[3].casts.size(), before2);
+  // And the partitions never leak messages across.
+  for (const auto& d : w.logs[3].casts) EXPECT_NE(d.payload, "left");
+  for (const auto& d : w.logs[1].casts) EXPECT_NE(d.payload, "right");
+}
+
+TEST(Partition, ManualMergeReunites) {
+  World w(4, "MBRSHIP:FRAG:NAK:COM", quiet());
+  w.form_group();
+  ASSERT_TRUE(w.converged());
+  w.sys.partition({{w.eps[0], w.eps[1]}, {w.eps[2], w.eps[3]}});
+  w.sys.run_for(5 * sim::kSecond);
+  ASSERT_EQ(w.logs[0].views.back().size(), 2u);
+  ASSERT_EQ(w.logs[2].views.back().size(), 2u);
+  // Heal the network and issue the merge downcall from one side.
+  w.sys.heal();
+  w.sys.run_for(sim::kSecond);
+  w.eps[2]->merge(kGroup, w.eps[0]->address());
+  w.sys.run_for(8 * sim::kSecond);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_FALSE(w.logs[i].views.empty());
+    EXPECT_EQ(w.logs[i].views.back().size(), 4u)
+        << "member " << i << " still in " << w.logs[i].views.back().to_string();
+  }
+  EXPECT_EQ(w.logs[0].views.back(), w.logs[2].views.back());
+  // The merged group is live.
+  std::size_t before = w.logs[3].casts.size();
+  w.eps[0]->cast(kGroup, Message::from_string("reunited"));
+  w.sys.run_for(2 * sim::kSecond);
+  EXPECT_GT(w.logs[3].casts.size(), before);
+}
+
+TEST(Partition, MergeLayerHealsAutomatically) {
+  World w(4, "MERGE:MBRSHIP:FRAG:NAK:COM", quiet());
+  w.form_group();
+  ASSERT_TRUE(w.converged());
+  w.sys.partition({{w.eps[0], w.eps[1]}, {w.eps[2], w.eps[3]}});
+  w.sys.run_for(5 * sim::kSecond);
+  ASSERT_EQ(w.logs[0].views.back().size(), 2u);
+  ASSERT_EQ(w.logs[2].views.back().size(), 2u);
+  // Heal the network; MERGE's probes must reunite the group on their own
+  // (property P16: automatic view merging).
+  w.sys.heal();
+  w.sys.run_for(15 * sim::kSecond);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(w.logs[i].views.back().size(), 4u)
+        << "member " << i << " still in " << w.logs[i].views.back().to_string();
+  }
+}
+
+TEST(Partition, PrimaryPartitionMinorityBlocks) {
+  HorusSystem::Options o = quiet();
+  o.stack.partition_policy = PartitionPolicy::kPrimaryPartition;
+  World w(5, "MBRSHIP:FRAG:NAK:COM", o);
+  w.form_group();
+  ASSERT_TRUE(w.converged());
+  // Split 3 | 2: the 3-side keeps the primary, the 2-side blocks.
+  w.sys.partition({{w.eps[0], w.eps[1], w.eps[2]}, {w.eps[3], w.eps[4]}});
+  w.sys.run_for(5 * sim::kSecond);
+  // Majority side: casts still flow.
+  std::size_t before = w.logs[1].casts.size();
+  w.eps[0]->cast(kGroup, Message::from_string("maj"));
+  w.sys.run_for(2 * sim::kSecond);
+  EXPECT_GT(w.logs[1].casts.size(), before);
+  // Minority side: casting produces a SYSTEM_ERROR and no delivery.
+  bool errored = false;
+  w.eps[3]->on_upcall([&](Group&, UpEvent& ev) {
+    if (ev.type == UpType::kSystemError) errored = true;
+  });
+  std::size_t before4 = w.logs[4].casts.size();
+  w.eps[3]->cast(kGroup, Message::from_string("min"));
+  w.sys.run_for(2 * sim::kSecond);
+  EXPECT_TRUE(errored) << "minority cast did not report an error";
+  EXPECT_EQ(w.logs[4].casts.size(), before4) << "minority made progress";
+}
+
+TEST(Partition, PrimaryPartitionMergeUnblocks) {
+  HorusSystem::Options o = quiet();
+  o.stack.partition_policy = PartitionPolicy::kPrimaryPartition;
+  World w(5, "MERGE:MBRSHIP:FRAG:NAK:COM", o);
+  w.form_group();
+  ASSERT_TRUE(w.converged());
+  w.sys.partition({{w.eps[0], w.eps[1], w.eps[2]}, {w.eps[3], w.eps[4]}});
+  w.sys.run_for(5 * sim::kSecond);
+  w.sys.heal();
+  w.sys.run_for(20 * sim::kSecond);
+  // After healing everyone is back in one 5-member view, and the formerly
+  // blocked members can cast again.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(w.logs[i].views.back().size(), 5u) << "member " << i;
+  }
+  std::size_t before = w.logs[0].casts.size();
+  w.eps[4]->cast(kGroup, Message::from_string("unblocked"));
+  w.sys.run_for(2 * sim::kSecond);
+  EXPECT_GT(w.logs[0].casts.size(), before);
+}
+
+TEST(Partition, GracefulLeave) {
+  World w(3, "MBRSHIP:FRAG:NAK:COM", quiet());
+  w.form_group();
+  ASSERT_TRUE(w.converged());
+  w.eps[2]->leave(kGroup);
+  w.sys.run_for(3 * sim::kSecond);
+  EXPECT_EQ(w.logs[2].exits, 1) << "leaver did not get EXIT";
+  for (int i : {0, 1}) {
+    const View& v = w.logs[i].views.back();
+    EXPECT_EQ(v.size(), 2u) << "member " << i;
+    EXPECT_FALSE(v.contains(w.eps[2]->address()));
+  }
+}
+
+TEST(Partition, JoinAfterLeaveRejoins) {
+  World w(3, "MBRSHIP:FRAG:NAK:COM", quiet());
+  w.form_group();
+  ASSERT_TRUE(w.converged());
+  w.eps[2]->leave(kGroup);
+  w.sys.run_for(3 * sim::kSecond);
+  ASSERT_EQ(w.logs[0].views.back().size(), 2u);
+  // Rejoin through a current member.
+  w.eps[2]->join(kGroup, w.eps[0]->address());
+  w.sys.run_for(3 * sim::kSecond);
+  EXPECT_EQ(w.logs[0].views.back().size(), 3u);
+  EXPECT_EQ(w.logs[2].views.back().size(), 3u);
+}
+
+}  // namespace
+}  // namespace horus::testing

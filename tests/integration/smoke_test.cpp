@@ -1,0 +1,101 @@
+// End-to-end smoke tests: the shortest paths through the system, one per
+// stack family. If these fail, debug here before anything else.
+#include "../common/test_util.hpp"
+
+namespace horus::testing {
+namespace {
+
+TEST(Smoke, RawComDelivers) {
+  // The minimal stack: COM over the simulated network, app-managed view.
+  HorusSystem::Options opts;
+  opts.net.loss = 0.0;
+  World w(2, "COM", opts);
+  w.eps[0]->join(kGroup);
+  w.eps[1]->join(kGroup);
+  w.eps[0]->install_view(kGroup, {w.eps[0]->address(), w.eps[1]->address()});
+  w.eps[1]->install_view(kGroup, {w.eps[0]->address(), w.eps[1]->address()});
+  w.sys.run_for(10 * sim::kMillisecond);
+  w.eps[0]->cast(kGroup, Message::from_string("hello"));
+  w.sys.run_for(50 * sim::kMillisecond);
+  ASSERT_EQ(w.logs[1].casts.size(), 1u);
+  EXPECT_EQ(w.logs[1].casts[0].payload, "hello");
+  EXPECT_EQ(w.logs[1].casts[0].source, w.eps[0]->address());
+  // The sender delivers its own multicast too.
+  ASSERT_EQ(w.logs[0].casts.size(), 1u);
+}
+
+TEST(Smoke, NakComDeliversInOrderUnderLoss) {
+  HorusSystem::Options opts;
+  opts.net.loss = 0.2;
+  World w(2, "NAK:COM", opts);
+  w.eps[0]->join(kGroup);
+  w.eps[1]->join(kGroup);
+  std::vector<Address> both = {w.eps[0]->address(), w.eps[1]->address()};
+  w.eps[0]->install_view(kGroup, both);
+  w.eps[1]->install_view(kGroup, both);
+  w.sys.run_for(10 * sim::kMillisecond);
+  for (int i = 0; i < 50; ++i) {
+    w.eps[0]->cast(kGroup, Message::from_string("m" + std::to_string(i)));
+  }
+  w.sys.run_for(3 * sim::kSecond);
+  auto got = w.logs[1].casts_from(w.eps[0]->address());
+  ASSERT_EQ(got.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(got[i], "m" + std::to_string(i));
+}
+
+TEST(Smoke, MbrshipGroupForms) {
+  World w(3, "MBRSHIP:FRAG:NAK:COM");
+  w.form_group();
+  ASSERT_TRUE(w.converged()) << "views did not converge";
+  // All members ended in the same view.
+  View last = w.logs[0].views.back();
+  for (std::size_t i = 1; i < 3; ++i) {
+    EXPECT_EQ(w.logs[i].views.back(), last) << "member " << i;
+  }
+  EXPECT_EQ(last.size(), 3u);
+}
+
+TEST(Smoke, MbrshipCastReachesAll) {
+  World w(3, "MBRSHIP:FRAG:NAK:COM");
+  w.form_group();
+  ASSERT_TRUE(w.converged());
+  w.eps[1]->cast(kGroup, Message::from_string("ping"));
+  w.sys.run_for(sim::kSecond);
+  for (std::size_t i = 0; i < 3; ++i) {
+    auto got = w.logs[i].casts_from(w.eps[1]->address());
+    ASSERT_EQ(got.size(), 1u) << "member " << i;
+    EXPECT_EQ(got[0], "ping");
+  }
+}
+
+TEST(Smoke, FullStackTotalOrderDelivers) {
+  World w(3, "TOTAL:MBRSHIP:FRAG:NAK:COM");
+  w.form_group();
+  ASSERT_TRUE(w.converged());
+  for (std::size_t i = 0; i < 3; ++i) {
+    w.eps[i]->cast(kGroup, Message::from_string("from" + std::to_string(i)));
+  }
+  w.sys.run_for(3 * sim::kSecond);
+  // Everyone delivers all three messages, in the same order.
+  auto ref = w.logs[0].all_cast_payloads();
+  ASSERT_EQ(ref.size(), 3u);
+  for (std::size_t i = 1; i < 3; ++i) {
+    EXPECT_EQ(w.logs[i].all_cast_payloads(), ref) << "member " << i;
+  }
+}
+
+TEST(Smoke, LargeMessageFragmentsAndReassembles) {
+  World w(2, "MBRSHIP:FRAG:NAK:COM");
+  w.form_group();
+  ASSERT_TRUE(w.converged());
+  std::string big(20'000, 'x');
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = static_cast<char>('a' + i % 26);
+  w.eps[0]->cast(kGroup, Message::from_string(big));
+  w.sys.run_for(2 * sim::kSecond);
+  auto got = w.logs[1].casts_from(w.eps[0]->address());
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], big);
+}
+
+}  // namespace
+}  // namespace horus::testing

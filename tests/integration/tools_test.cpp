@@ -1,0 +1,410 @@
+// The Isis-style tools built on the public API (paper Sections 1/9/11):
+// replicated data with state transfer, distributed locking with failover,
+// primary-backup request sequencing, deterministic load balancing.
+#include <gtest/gtest.h>
+
+#include "../common/test_util.hpp"
+#include "horus/tools/guaranteed_exec.hpp"
+#include "horus/tools/load_balancer.hpp"
+#include "horus/tools/lock_manager.hpp"
+#include "horus/tools/primary_backup.hpp"
+#include "horus/tools/replicated_map.hpp"
+
+namespace horus::testing {
+namespace {
+
+using tools::LoadBalancer;
+using tools::LockManager;
+using tools::PrimaryBackup;
+using tools::ReplicatedMap;
+
+constexpr const char* kStack = "TOTAL:MBRSHIP:FRAG:NAK:COM";
+
+HorusSystem::Options quiet() {
+  HorusSystem::Options o;
+  o.net.loss = 0.0;
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// ReplicatedMap
+// ---------------------------------------------------------------------------
+
+TEST(ReplicatedMapTool, ReplicasConvergeUnderConcurrentWrites) {
+  HorusSystem::Options o;
+  o.net.loss = 0.08;
+  HorusSystem sys(o);
+  auto& e1 = sys.create_endpoint(kStack);
+  auto& e2 = sys.create_endpoint(kStack);
+  auto& e3 = sys.create_endpoint(kStack);
+  ReplicatedMap m1(e1, GroupId{1}), m2(e2, GroupId{1}), m3(e3, GroupId{1});
+  m1.bootstrap();
+  sys.run_for(100 * sim::kMillisecond);
+  m2.join_via(e1.address());
+  sys.run_for(sim::kSecond);
+  m3.join_via(e1.address());
+  sys.run_for(2 * sim::kSecond);
+
+  m1.set("color", "red");
+  m2.set("color", "blue");  // races with m1's write: order decided by TOTAL
+  m3.set("shape", "round");
+  m1.erase("never-there");
+  sys.run_for(3 * sim::kSecond);
+
+  EXPECT_EQ(m1.digest(), m2.digest());
+  EXPECT_EQ(m2.digest(), m3.digest());
+  EXPECT_TRUE(m1.get("color").has_value());
+  EXPECT_EQ(*m1.get("shape"), "round");
+}
+
+TEST(ReplicatedMapTool, JoinerReceivesStateTransfer) {
+  HorusSystem sys(quiet());
+  auto& e1 = sys.create_endpoint(kStack);
+  auto& e2 = sys.create_endpoint(kStack);
+  ReplicatedMap m1(e1, GroupId{1});
+  m1.bootstrap();
+  sys.run_for(200 * sim::kMillisecond);
+  // Accumulate state BEFORE the second replica exists.
+  for (int i = 0; i < 20; ++i) {
+    m1.set("k" + std::to_string(i), "v" + std::to_string(i));
+  }
+  sys.run_for(sim::kSecond);
+  ASSERT_EQ(m1.version(), 20u);
+
+  ReplicatedMap m2(e2, GroupId{1});
+  m2.join_via(e1.address());
+  sys.run_for(3 * sim::kSecond);
+  ASSERT_TRUE(m2.ready()) << "snapshot never arrived";
+  EXPECT_EQ(m2.digest(), m1.digest()) << "state transfer incomplete";
+  EXPECT_EQ(*m2.get("k7"), "v7");
+}
+
+TEST(ReplicatedMapTool, WritesDuringJoinLandExactlyOnce) {
+  HorusSystem sys(quiet());
+  auto& e1 = sys.create_endpoint(kStack);
+  auto& e2 = sys.create_endpoint(kStack);
+  ReplicatedMap m1(e1, GroupId{1});
+  m1.bootstrap();
+  sys.run_for(200 * sim::kMillisecond);
+  m1.set("pre", "1");
+  sys.run_for(sim::kSecond);
+  ReplicatedMap m2(e2, GroupId{1});
+  m2.join_via(e1.address());
+  // Keep writing while the join + snapshot are in flight.
+  for (int i = 0; i < 10; ++i) {
+    m1.set("during" + std::to_string(i), "x");
+    sys.run_for(30 * sim::kMillisecond);
+  }
+  sys.run_for(3 * sim::kSecond);
+  EXPECT_EQ(m2.digest(), m1.digest())
+      << "ops raced the snapshot and were double- or un-applied";
+}
+
+TEST(ReplicatedMapTool, SurvivesReplicaCrash) {
+  HorusSystem sys(quiet());
+  auto& e1 = sys.create_endpoint(kStack);
+  auto& e2 = sys.create_endpoint(kStack);
+  auto& e3 = sys.create_endpoint(kStack);
+  ReplicatedMap m1(e1, GroupId{1}), m2(e2, GroupId{1}), m3(e3, GroupId{1});
+  m1.bootstrap();
+  sys.run_for(100 * sim::kMillisecond);
+  m2.join_via(e1.address());
+  sys.run_for(sim::kSecond);
+  m3.join_via(e1.address());
+  sys.run_for(2 * sim::kSecond);
+  m1.set("a", "1");
+  sys.run_for(500 * sim::kMillisecond);
+  sys.crash(e1);  // the founder (and current snapshot leader) dies
+  sys.run_for(5 * sim::kSecond);
+  m2.set("b", "2");
+  sys.run_for(2 * sim::kSecond);
+  EXPECT_EQ(m2.digest(), m3.digest());
+  EXPECT_EQ(*m3.get("a"), "1");
+  EXPECT_EQ(*m3.get("b"), "2");
+}
+
+// ---------------------------------------------------------------------------
+// LockManager
+// ---------------------------------------------------------------------------
+
+struct LockWorld {
+  explicit LockWorld(std::size_t n, HorusSystem::Options o = quiet())
+      : sys(o) {
+    for (std::size_t i = 0; i < n; ++i) {
+      eps.push_back(&sys.create_endpoint(kStack));
+      mgrs.push_back(std::make_unique<LockManager>(*eps[i], GroupId{2}));
+    }
+    mgrs[0]->bootstrap();
+    sys.run_for(100 * sim::kMillisecond);
+    for (std::size_t i = 1; i < n; ++i) {
+      mgrs[i]->join_via(eps[0]->address());
+      sys.run_for(500 * sim::kMillisecond);
+    }
+    sys.run_for(2 * sim::kSecond);
+  }
+  HorusSystem sys;
+  std::vector<Endpoint*> eps;
+  std::vector<std::unique_ptr<LockManager>> mgrs;
+};
+
+TEST(LockManagerTool, MutualExclusionAndFifoHandoff) {
+  LockWorld w(3);
+  std::vector<int> grant_order;
+  for (std::size_t i = 0; i < 3; ++i) {
+    w.mgrs[i]->on_granted([&grant_order, i](const std::string&) {
+      grant_order.push_back(static_cast<int>(i));
+    });
+  }
+  // All three request; requests are ordered by TOTAL.
+  w.mgrs[0]->lock("m");
+  w.mgrs[1]->lock("m");
+  w.mgrs[2]->lock("m");
+  w.sys.run_for(2 * sim::kSecond);
+  // Exactly one holder, agreed by everyone.
+  ASSERT_EQ(grant_order.size(), 1u);
+  int first = grant_order[0];
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(w.mgrs[i]->holder("m"), w.eps[static_cast<std::size_t>(first)]->address());
+  }
+  EXPECT_EQ(w.mgrs[static_cast<std::size_t>(first)]->held_by_me("m"), true);
+  // Release: the next queued requester is granted; then the last.
+  w.mgrs[static_cast<std::size_t>(first)]->unlock("m");
+  w.sys.run_for(2 * sim::kSecond);
+  ASSERT_EQ(grant_order.size(), 2u);
+  w.mgrs[static_cast<std::size_t>(grant_order[1])]->unlock("m");
+  w.sys.run_for(2 * sim::kSecond);
+  ASSERT_EQ(grant_order.size(), 3u);
+  // All three distinct members got it exactly once.
+  std::set<int> uniq(grant_order.begin(), grant_order.end());
+  EXPECT_EQ(uniq.size(), 3u);
+}
+
+TEST(LockManagerTool, HolderCrashReleasesLock) {
+  LockWorld w(3);
+  bool granted_at_1 = false;
+  w.mgrs[1]->on_granted([&](const std::string&) { granted_at_1 = true; });
+  w.mgrs[2]->lock("res");
+  w.sys.run_for(sim::kSecond);
+  w.mgrs[1]->lock("res");  // queued behind member 2
+  w.sys.run_for(sim::kSecond);
+  ASSERT_EQ(w.mgrs[0]->holder("res"), w.eps[2]->address());
+  ASSERT_FALSE(granted_at_1);
+  // The holder dies; the view change must hand the lock to member 1.
+  w.sys.crash(*w.eps[2]);
+  w.sys.run_for(5 * sim::kSecond);
+  EXPECT_TRUE(granted_at_1) << "lock stuck on a dead holder";
+  EXPECT_EQ(w.mgrs[0]->holder("res"), w.eps[1]->address());
+}
+
+TEST(LockManagerTool, ManyLocksIndependent) {
+  LockWorld w(2);
+  w.mgrs[0]->lock("a");
+  w.mgrs[1]->lock("b");
+  w.sys.run_for(2 * sim::kSecond);
+  EXPECT_TRUE(w.mgrs[0]->held_by_me("a"));
+  EXPECT_TRUE(w.mgrs[1]->held_by_me("b"));
+  EXPECT_FALSE(w.mgrs[1]->held_by_me("a"));
+}
+
+// ---------------------------------------------------------------------------
+// PrimaryBackup
+// ---------------------------------------------------------------------------
+
+TEST(PrimaryBackupTool, RequestsExecuteEverywhereInOrder) {
+  HorusSystem sys(quiet());
+  std::vector<Endpoint*> eps;
+  std::vector<std::vector<std::string>> logs(3);
+  std::vector<std::unique_ptr<PrimaryBackup>> pbs;
+  for (std::size_t i = 0; i < 3; ++i) {
+    eps.push_back(&sys.create_endpoint(kStack));
+    auto* log = &logs[i];
+    pbs.push_back(std::make_unique<PrimaryBackup>(
+        *eps[i], GroupId{3},
+        [log](const std::string& req) { log->push_back(req); }));
+  }
+  pbs[0]->bootstrap();
+  sys.run_for(100 * sim::kMillisecond);
+  pbs[1]->join_via(eps[0]->address());
+  sys.run_for(sim::kSecond);
+  pbs[2]->join_via(eps[0]->address());
+  sys.run_for(2 * sim::kSecond);
+  EXPECT_TRUE(pbs[0]->i_am_primary());
+  // Requests from every member, including non-primaries.
+  pbs[1]->submit("from-backup-1");
+  pbs[0]->submit("from-primary");
+  pbs[2]->submit("from-backup-2");
+  sys.run_for(3 * sim::kSecond);
+  ASSERT_EQ(logs[0].size(), 3u);
+  EXPECT_EQ(logs[0], logs[1]);
+  EXPECT_EQ(logs[1], logs[2]);
+}
+
+TEST(PrimaryBackupTool, FailoverExecutesExactlyOnce) {
+  HorusSystem sys(quiet());
+  std::vector<Endpoint*> eps;
+  std::vector<std::vector<std::string>> logs(3);
+  std::vector<std::unique_ptr<PrimaryBackup>> pbs;
+  for (std::size_t i = 0; i < 3; ++i) {
+    eps.push_back(&sys.create_endpoint(kStack));
+    auto* log = &logs[i];
+    pbs.push_back(std::make_unique<PrimaryBackup>(
+        *eps[i], GroupId{3},
+        [log](const std::string& req) { log->push_back(req); }));
+  }
+  pbs[0]->bootstrap();
+  sys.run_for(100 * sim::kMillisecond);
+  pbs[1]->join_via(eps[0]->address());
+  sys.run_for(sim::kSecond);
+  pbs[2]->join_via(eps[0]->address());
+  sys.run_for(2 * sim::kSecond);
+  pbs[1]->submit("settled");
+  sys.run_for(sim::kSecond);
+  // Kill the primary, then submit while the old primary's link is dead:
+  // the request must survive the failover and execute once at survivors.
+  sys.crash(*eps[0]);
+  pbs[2]->submit("across-failover");
+  sys.run_for(8 * sim::kSecond);
+  EXPECT_TRUE(pbs[1]->i_am_primary()) << "oldest survivor should lead";
+  for (std::size_t i : {1u, 2u}) {
+    int count = 0;
+    for (const auto& r : logs[i]) count += r == "across-failover" ? 1 : 0;
+    EXPECT_EQ(count, 1) << "member " << i << " executed "
+                        << count << " times";
+  }
+  EXPECT_EQ(logs[1], logs[2]);
+}
+
+// ---------------------------------------------------------------------------
+// GuaranteedExecution
+// ---------------------------------------------------------------------------
+
+TEST(GuaranteedExecTool, TasksRunExactlyOnceWhenQuiet) {
+  HorusSystem sys(quiet());
+  std::vector<Endpoint*> eps;
+  std::map<std::string, int> runs;  // task -> times executed (anywhere)
+  std::vector<std::unique_ptr<tools::GuaranteedExecution>> ges;
+  for (std::size_t i = 0; i < 3; ++i) {
+    eps.push_back(&sys.create_endpoint(kStack));
+    ges.push_back(std::make_unique<tools::GuaranteedExecution>(
+        *eps[i], GroupId{4},
+        [&runs](const std::string& id, const std::string&) { ++runs[id]; }));
+  }
+  ges[0]->bootstrap();
+  sys.run_for(100 * sim::kMillisecond);
+  ges[1]->join_via(eps[0]->address());
+  sys.run_for(sim::kSecond);
+  ges[2]->join_via(eps[0]->address());
+  sys.run_for(2 * sim::kSecond);
+  for (int t = 0; t < 12; ++t) {
+    ges[static_cast<std::size_t>(t % 3)]->submit("task" + std::to_string(t),
+                                                 "payload");
+  }
+  sys.run_for(3 * sim::kSecond);
+  ASSERT_EQ(runs.size(), 12u) << "some task never ran";
+  for (auto& [id, n] : runs) EXPECT_EQ(n, 1) << id;
+  for (auto& ge : ges) EXPECT_EQ(ge->pending(), 0u);
+}
+
+TEST(GuaranteedExecTool, OwnerCrashReassignsAndReruns) {
+  HorusSystem sys(quiet());
+  std::vector<Endpoint*> eps;
+  std::map<std::string, int> runs;
+  std::map<std::string, std::uint64_t> ran_at;  // task -> executor address
+  std::vector<std::unique_ptr<tools::GuaranteedExecution>> ges;
+  // The victim executes tasks but never announces completion (its crash
+  // beats the DONE cast): simulate by crashing it the moment it runs.
+  for (std::size_t i = 0; i < 3; ++i) {
+    eps.push_back(&sys.create_endpoint(kStack));
+    Endpoint* ep = eps[i];
+    ges.push_back(std::make_unique<tools::GuaranteedExecution>(
+        *eps[i], GroupId{4},
+        [&runs, &ran_at, ep](const std::string& id, const std::string&) {
+          ++runs[id];
+          ran_at[id] = ep->address().id;
+        }));
+  }
+  ges[0]->bootstrap();
+  sys.run_for(100 * sim::kMillisecond);
+  ges[1]->join_via(eps[0]->address());
+  sys.run_for(sim::kSecond);
+  ges[2]->join_via(eps[0]->address());
+  sys.run_for(2 * sim::kSecond);
+  // Find a task id owned by member 2, then crash member 2 at the instant
+  // it would execute (before its DONE can propagate: total link loss).
+  tools::LoadBalancer lb(eps[0]->group(GroupId{4}).view());
+  std::string victim_task;
+  for (int t = 0; t < 100; ++t) {
+    std::string id = "probe" + std::to_string(t);
+    if (lb.owner(id) == eps[2]->address()) {
+      victim_task = id;
+      break;
+    }
+  }
+  ASSERT_FALSE(victim_task.empty());
+  // Cut ALL of member 2's outbound links so its DONE never leaves, then
+  // submit and crash it.
+  sim::LinkParams dead;
+  dead.loss = 1.0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    sys.net().set_link_params(eps[2]->address().id, eps[i]->address().id, dead);
+  }
+  ges[0]->submit(victim_task, "work");
+  sys.run_for(sim::kSecond);
+  sys.crash(*eps[2]);
+  sys.run_for(8 * sim::kSecond);
+  // A survivor re-executed it and everyone agrees it is done.
+  EXPECT_TRUE(ges[0]->completed(victim_task))
+      << "task died with its owner (guaranteed execution violated)";
+  EXPECT_TRUE(ges[1]->completed(victim_task));
+  EXPECT_NE(ran_at[victim_task], eps[2]->address().id)
+      << "completion must come from a survivor";
+}
+
+// ---------------------------------------------------------------------------
+// LoadBalancer
+// ---------------------------------------------------------------------------
+
+TEST(LoadBalancerTool, DeterministicAndBalanced) {
+  View v(ViewId{1, Address{1}},
+         {Address{1}, Address{2}, Address{3}, Address{4}});
+  LoadBalancer lb1(v), lb2(v);
+  std::map<std::uint64_t, int> tally;
+  for (int i = 0; i < 4000; ++i) {
+    std::string key = "job" + std::to_string(i);
+    auto o1 = lb1.owner(key);
+    auto o2 = lb2.owner(key);
+    ASSERT_TRUE(o1.has_value());
+    EXPECT_EQ(o1, o2) << "owners must agree across members";
+    ++tally[o1->id];
+  }
+  ASSERT_EQ(tally.size(), 4u) << "some member got no work at all";
+  for (auto& [id, n] : tally) {
+    EXPECT_GT(n, 700) << "member " << id << " underloaded";
+    EXPECT_LT(n, 1300) << "member " << id << " overloaded";
+  }
+}
+
+TEST(LoadBalancerTool, MinimalMovementOnViewChange) {
+  View v4(ViewId{1, Address{1}},
+          {Address{1}, Address{2}, Address{3}, Address{4}});
+  View v3(ViewId{2, Address{1}}, {Address{1}, Address{2}, Address{3}});
+  LoadBalancer before(v4), after(v3);
+  int moved_among_survivors = 0, total_survivor_keys = 0;
+  for (int i = 0; i < 2000; ++i) {
+    std::string key = "k" + std::to_string(i);
+    Address o1 = *before.owner(key);
+    Address o2 = *after.owner(key);
+    if (o1.id != 4) {
+      ++total_survivor_keys;
+      if (o1 != o2) ++moved_among_survivors;
+    } else {
+      EXPECT_NE(o2.id, 4u) << "departed member still owns keys";
+    }
+  }
+  // Rendezvous hashing: keys owned by survivors do not move at all.
+  EXPECT_EQ(moved_among_survivors, 0)
+      << "of " << total_survivor_keys << " survivor keys";
+}
+
+}  // namespace
+}  // namespace horus::testing

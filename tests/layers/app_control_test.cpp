@@ -1,0 +1,124 @@
+// Application-controlled membership: the flush_ok, merge_granted and
+// merge_denied downcalls of Table 1, and the FLUSH_OK / MERGE_DENIED
+// upcalls of Table 2.
+#include "../common/test_util.hpp"
+
+namespace horus::testing {
+namespace {
+
+HorusSystem::Options quiet() {
+  HorusSystem::Options o;
+  o.net.loss = 0.0;
+  return o;
+}
+
+TEST(AppFlush, FlushWaitsForFlushOk) {
+  HorusSystem::Options o = quiet();
+  o.stack.app_controls_flush = true;
+  World w(3, "MBRSHIP:FRAG:NAK:COM", o);
+  // Everyone answers flush_ok promptly -- except the coordinator, which
+  // starts withholding once the group has formed.
+  int flush_upcalls_at_0 = 0;
+  bool withhold = false;  // armed after formation
+  bool released = false;
+  for (std::size_t i = 0; i < 3; ++i) {
+    Endpoint* ep = w.eps[i];
+    AppLog* log = &w.logs[i];
+    bool is_coord = i == 0;
+    ep->on_upcall([ep, log, is_coord, &flush_upcalls_at_0, &withhold,
+                   &released](Group& g, UpEvent& ev) {
+      if (ev.type == UpType::kView) log->views.push_back(ev.view);
+      if (ev.type == UpType::kFlush) {
+        if (is_coord && withhold) {
+          ++flush_upcalls_at_0;
+          if (released) ep->flush_ok(g.gid());
+        } else {
+          ep->flush_ok(g.gid());
+        }
+      }
+    });
+  }
+  w.form_group();
+  ASSERT_TRUE(w.converged());
+  withhold = true;
+  std::size_t views_before = w.logs[0].views.size();
+  w.sys.crash(*w.eps[2]);
+  w.sys.run_for(3 * sim::kSecond);
+  // The coordinator never said flush_ok: the view must NOT have changed.
+  EXPECT_GT(flush_upcalls_at_0, 0) << "flush never started";
+  EXPECT_EQ(w.logs[0].views.size(), views_before)
+      << "view installed without the coordinator's flush_ok";
+  // Now release it.
+  released = true;
+  w.eps[0]->flush_ok(kGroup);
+  w.sys.run_for(3 * sim::kSecond);
+  ASSERT_GT(w.logs[0].views.size(), views_before);
+  EXPECT_EQ(w.logs[0].views.back().size(), 2u);
+}
+
+TEST(AppFlush, FlushOkUpcallOnCompletion) {
+  World w(3, "MBRSHIP:FRAG:NAK:COM", quiet());
+  int flush_ok_upcalls = 0;
+  w.form_group();
+  w.eps[0]->on_upcall([&](Group&, UpEvent& ev) {
+    if (ev.type == UpType::kFlushOk) ++flush_ok_upcalls;
+  });
+  w.sys.crash(*w.eps[2]);
+  w.sys.run_for(3 * sim::kSecond);
+  EXPECT_GT(flush_ok_upcalls, 0) << "no FLUSH_OK (flush completed) upcall";
+}
+
+class AppMergeTest : public ::testing::Test {
+ protected:
+  AppMergeTest() {
+    HorusSystem::Options o = quiet();
+    o.stack.app_controls_merge = true;
+    w = std::make_unique<World>(4, "MBRSHIP:FRAG:NAK:COM", o);
+    w->form_group();
+    // Split and let both sides settle into their own views.
+    w->sys.partition({{w->eps[0], w->eps[1]}, {w->eps[2], w->eps[3]}});
+    w->sys.run_for(5 * sim::kSecond);
+    w->sys.heal();
+    w->sys.run_for(sim::kSecond);
+  }
+  std::unique_ptr<World> w;
+};
+
+TEST_F(AppMergeTest, MergeHeldUntilGranted) {
+  ASSERT_EQ(w->logs[0].views.back().size(), 2u);
+  bool requested = false;
+  w->eps[0]->on_upcall([&](Group&, UpEvent& ev) {
+    if (ev.type == UpType::kMergeRequest) requested = true;
+    if (ev.type == UpType::kView) w->logs[0].views.push_back(ev.view);
+  });
+  w->eps[2]->merge(kGroup, w->eps[0]->address());
+  w->sys.run_for(3 * sim::kSecond);
+  EXPECT_TRUE(requested) << "MERGE_REQUEST upcall missing";
+  EXPECT_EQ(w->logs[0].views.back().size(), 2u)
+      << "merge proceeded without merge_granted";
+  // Grant it.
+  w->eps[0]->merge_granted(kGroup);
+  w->sys.run_for(8 * sim::kSecond);
+  EXPECT_EQ(w->logs[0].views.back().size(), 4u) << "grant did not merge";
+}
+
+TEST_F(AppMergeTest, MergeDeniedNotifiesRequester) {
+  bool denied_at_requester = false;
+  w->eps[2]->on_upcall([&](Group&, UpEvent& ev) {
+    if (ev.type == UpType::kMergeDenied) denied_at_requester = true;
+  });
+  w->eps[0]->on_upcall([&](Group& g, UpEvent& ev) {
+    if (ev.type == UpType::kMergeRequest) {
+      w->eps[0]->merge_denied(g.gid(), "not today");
+    }
+  });
+  w->eps[2]->merge(kGroup, w->eps[0]->address());
+  w->sys.run_for(3 * sim::kSecond);
+  EXPECT_TRUE(denied_at_requester) << "MERGE_DENIED upcall missing";
+  // Views stay separate.
+  EXPECT_EQ(w->eps[0]->group(kGroup).view().size(), 2u);
+  EXPECT_EQ(w->eps[2]->group(kGroup).view().size(), 2u);
+}
+
+}  // namespace
+}  // namespace horus::testing

@@ -1,0 +1,182 @@
+// The BMS/VSS decomposition of membership (Table 3): BMS alone gives
+// agreed views but only semi-synchrony; VSS:BMS reconstructs full virtual
+// synchrony -- equivalent guarantees to the monolithic MBRSHIP.
+#include "../common/test_util.hpp"
+
+namespace horus::testing {
+namespace {
+
+HorusSystem::Options quiet() {
+  HorusSystem::Options o;
+  o.net.loss = 0.0;
+  return o;
+}
+
+TEST(Bms, GroupFormsAndCasts) {
+  World w(3, "BMS:FRAG:NAK:COM", quiet());
+  w.form_group();
+  ASSERT_TRUE(w.converged());
+  w.eps[1]->cast(kGroup, Message::from_string("semi"));
+  w.sys.run_for(sim::kSecond);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(w.logs[i].casts_from(w.eps[1]->address()).size(), 1u)
+        << "member " << i;
+  }
+}
+
+TEST(Bms, CrashShrinksView) {
+  World w(4, "BMS:FRAG:NAK:COM", quiet());
+  w.form_group();
+  ASSERT_TRUE(w.converged());
+  w.sys.crash(*w.eps[3]);
+  w.sys.run_for(3 * sim::kSecond);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(w.logs[i].views.back().size(), 3u) << "member " << i;
+  }
+}
+
+TEST(Bms, ProvidesOnlySemiSynchrony) {
+  // The property algebra knows BMS is weaker: TOTAL (requires P9) cannot
+  // stack on BMS alone, but can on VSS:BMS.
+  HorusSystem sys(quiet());
+  EXPECT_THROW(sys.create_endpoint("TOTAL:BMS:FRAG:NAK:COM"),
+               std::invalid_argument);
+  EXPECT_NO_THROW(sys.create_endpoint("TOTAL:VSS:BMS:FRAG:NAK:COM"));
+}
+
+TEST(Vss, GroupFormsAndCasts) {
+  World w(3, "VSS:BMS:FRAG:NAK:COM", quiet());
+  w.form_group();
+  ASSERT_TRUE(w.converged());
+  for (std::size_t m = 0; m < 3; ++m) {
+    w.eps[m]->cast(kGroup, Message::from_string("vs" + std::to_string(m)));
+  }
+  w.sys.run_for(2 * sim::kSecond);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(w.logs[i].casts.size(), 3u) << "member " << i;
+  }
+}
+
+TEST(Vss, Figure2ScenarioHolds) {
+  // The same unstable-message obligation MBRSHIP satisfies, now via the
+  // decomposed pair: D crashes after sending M; only C received it; every
+  // survivor must deliver M before the view change reaches the app.
+  World w(4, "VSS:BMS:FRAG:NAK:COM", quiet());
+  w.form_group();
+  ASSERT_TRUE(w.converged());
+  Endpoint* D = w.eps[3];
+  sim::LinkParams dead;
+  dead.loss = 1.0;
+  w.sys.net().set_link_params(D->address().id, w.eps[0]->address().id, dead);
+  w.sys.net().set_link_params(D->address().id, w.eps[1]->address().id, dead);
+  D->cast(kGroup, Message::from_string("M"));
+  w.sys.run_for(1 * sim::kMillisecond);
+  w.sys.crash(*D);
+  w.sys.run_for(5 * sim::kSecond);
+  for (int i : {0, 1, 2}) {
+    auto got = w.logs[i].casts_from(D->address());
+    ASSERT_EQ(got.size(), 1u) << "member " << i << " missed/duped M";
+    EXPECT_EQ(got[0], "M");
+    EXPECT_EQ(w.logs[i].views.back().size(), 3u) << "member " << i;
+  }
+}
+
+TEST(Vss, ViewDeliveredAfterReconciliation) {
+  // Interleaving check at one member: M strictly before the shrunk view.
+  World w(3, "VSS:BMS:FRAG:NAK:COM", quiet());
+  w.form_group();
+  ASSERT_TRUE(w.converged());
+  std::vector<std::string> events;
+  w.eps[1]->on_upcall([&](Group&, UpEvent& ev) {
+    if (ev.type == UpType::kCast) events.push_back("cast");
+    if (ev.type == UpType::kView) events.push_back("view" + std::to_string(ev.view.size()));
+  });
+  Endpoint* crasher = w.eps[2];
+  sim::LinkParams dead;
+  dead.loss = 1.0;
+  w.sys.net().set_link_params(crasher->address().id, w.eps[1]->address().id, dead);
+  crasher->cast(kGroup, Message::from_string("last words"));
+  w.sys.run_for(1 * sim::kMillisecond);
+  w.sys.crash(*crasher);
+  w.sys.run_for(5 * sim::kSecond);
+  auto cast_it = std::find(events.begin(), events.end(), "cast");
+  auto view_it = std::find(events.begin(), events.end(), "view2");
+  ASSERT_NE(cast_it, events.end());
+  ASSERT_NE(view_it, events.end());
+  EXPECT_LT(cast_it - events.begin(), view_it - events.begin());
+}
+
+TEST(Vss, SameMessageSetsAcrossViewChange) {
+  HorusSystem::Options o;
+  o.net.loss = 0.05;
+  o.seed = 321;
+  World w(4, "VSS:BMS:FRAG:NAK:COM", o);
+  w.form_group(3 * sim::kSecond);
+  ASSERT_TRUE(w.converged());
+  for (int round = 0; round < 6; ++round) {
+    for (std::size_t m = 0; m < 4; ++m) {
+      if (round >= 3 && m == 3) continue;  // crashed below
+      w.eps[m]->cast(kGroup, Message::from_string(
+                                 "r" + std::to_string(round) + "m" + std::to_string(m)));
+    }
+    if (round == 2) w.sys.crash(*w.eps[3]);
+    w.sys.run_for(200 * sim::kMillisecond);
+  }
+  w.sys.run_for(8 * sim::kSecond);
+  // All survivors delivered the same SET of messages.
+  auto set_of = [](const AppLog& log) {
+    std::set<std::string> s;
+    for (const auto& d : log.casts) s.insert(d.payload);
+    return s;
+  };
+  auto ref = set_of(w.logs[0]);
+  for (std::size_t m : {1u, 2u}) {
+    EXPECT_EQ(set_of(w.logs[m]), ref) << "member " << m;
+  }
+}
+
+TEST(Vss, CoordinatorCrashDuringExchangeRecovers) {
+  // The exchange coordinator (oldest survivor) dies mid-reconciliation:
+  // BMS announces yet another view and the exchange restarts toward it.
+  World w(4, "VSS:BMS:FRAG:NAK:COM", quiet());
+  w.form_group();
+  ASSERT_TRUE(w.converged());
+  w.eps[0]->cast(kGroup, Message::from_string("pre"));
+  w.sys.run_for(sim::kSecond);
+  // Crash member 3 to trigger an exchange, and the exchange coordinator
+  // (member 0) shortly after.
+  w.sys.crash(*w.eps[3]);
+  w.sys.run_for(300 * sim::kMillisecond);  // suspicion fires, exchange begins
+  w.sys.crash(*w.eps[0]);
+  w.sys.run_for(8 * sim::kSecond);
+  for (std::size_t i : {1u, 2u}) {
+    ASSERT_FALSE(w.logs[i].views.empty()) << "member " << i;
+    EXPECT_EQ(w.logs[i].views.back().size(), 2u) << "member " << i;
+  }
+  EXPECT_EQ(w.logs[1].views.back(), w.logs[2].views.back());
+  // Still live.
+  std::size_t before = w.logs[2].casts.size();
+  w.eps[1]->cast(kGroup, Message::from_string("post"));
+  w.sys.run_for(2 * sim::kSecond);
+  EXPECT_GT(w.logs[2].casts.size(), before);
+}
+
+TEST(Vss, TotalOrderOverDecomposedMembership) {
+  // The full LEGO payoff: TOTAL runs unchanged over VSS:BMS.
+  World w(3, "TOTAL:VSS:BMS:FRAG:NAK:COM", quiet());
+  w.form_group();
+  ASSERT_TRUE(w.converged());
+  for (int i = 0; i < 9; ++i) {
+    w.eps[static_cast<std::size_t>(i % 3)]->cast(
+        kGroup, Message::from_string("t" + std::to_string(i)));
+  }
+  w.sys.run_for(5 * sim::kSecond);
+  auto ref = w.logs[0].all_cast_payloads();
+  ASSERT_EQ(ref.size(), 9u);
+  for (std::size_t m = 1; m < 3; ++m) {
+    EXPECT_EQ(w.logs[m].all_cast_payloads(), ref) << "member " << m;
+  }
+}
+
+}  // namespace
+}  // namespace horus::testing

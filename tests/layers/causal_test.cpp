@@ -1,0 +1,132 @@
+// CAUSAL layer: delivery respects happens-before; concurrent messages may
+// interleave differently at different members, but causality never breaks.
+#include <map>
+
+#include "../common/test_util.hpp"
+
+namespace horus::testing {
+namespace {
+
+constexpr const char* kStack = "CAUSAL:MBRSHIP:FRAG:NAK:COM";
+
+// Track, at each member, the position of each delivered payload.
+std::map<std::string, std::size_t> positions(const AppLog& log) {
+  std::map<std::string, std::size_t> pos;
+  for (std::size_t i = 0; i < log.casts.size(); ++i) {
+    pos[log.casts[i].payload] = i;
+  }
+  return pos;
+}
+
+TEST(Causal, ReplyNeverBeforeQuestion) {
+  // The classic test: B replies to A's message. With wide network jitter
+  // the raw datagrams frequently reorder; CAUSAL must still deliver
+  // "question" before "answer" everywhere.
+  HorusSystem::Options o;
+  o.net.loss = 0.0;
+  o.net.delay_min = 50;
+  o.net.delay_max = 3000;  // aggressive reorder window
+  World w(3, kStack, o);
+  w.form_group(3 * sim::kSecond);
+  ASSERT_TRUE(w.converged());
+  for (int round = 0; round < 20; ++round) {
+    w.eps[0]->cast(kGroup, Message::from_string("q" + std::to_string(round)));
+    // B "replies" as soon as it sees the question.
+    w.sys.run_for(sim::kSecond);
+    ASSERT_FALSE(w.logs[1].casts.empty());
+    w.eps[1]->cast(kGroup, Message::from_string("a" + std::to_string(round)));
+    w.sys.run_for(sim::kSecond);
+  }
+  w.sys.run_for(5 * sim::kSecond);
+  for (std::size_t m = 0; m < 3; ++m) {
+    auto pos = positions(w.logs[m]);
+    for (int round = 0; round < 20; ++round) {
+      std::string q = "q" + std::to_string(round);
+      std::string a = "a" + std::to_string(round);
+      ASSERT_TRUE(pos.contains(q)) << "member " << m << " missing " << q;
+      ASSERT_TRUE(pos.contains(a)) << "member " << m << " missing " << a;
+      EXPECT_LT(pos[q], pos[a])
+          << "member " << m << ": answer before question in round " << round;
+    }
+  }
+}
+
+TEST(Causal, ChainAcrossThreeMembers) {
+  // A -> B -> C causal chain: C's message depends on B's which depends on
+  // A's; every member must deliver them in chain order.
+  HorusSystem::Options o;
+  o.net.delay_min = 50;
+  o.net.delay_max = 2000;
+  World w(3, kStack, o);
+  w.form_group(3 * sim::kSecond);
+  ASSERT_TRUE(w.converged());
+  w.eps[0]->cast(kGroup, Message::from_string("link0"));
+  w.sys.run_for(sim::kSecond);
+  w.eps[1]->cast(kGroup, Message::from_string("link1"));
+  w.sys.run_for(sim::kSecond);
+  w.eps[2]->cast(kGroup, Message::from_string("link2"));
+  w.sys.run_for(3 * sim::kSecond);
+  for (std::size_t m = 0; m < 3; ++m) {
+    auto pos = positions(w.logs[m]);
+    EXPECT_LT(pos.at("link0"), pos.at("link1")) << "member " << m;
+    EXPECT_LT(pos.at("link1"), pos.at("link2")) << "member " << m;
+  }
+}
+
+TEST(Causal, FifoIsSubsumed) {
+  HorusSystem::Options o;
+  o.net.delay_min = 10;
+  o.net.delay_max = 1500;
+  World w(2, kStack, o);
+  w.form_group(3 * sim::kSecond);
+  for (int i = 0; i < 30; ++i) {
+    w.eps[0]->cast(kGroup, Message::from_string(std::to_string(i)));
+  }
+  w.sys.run_for(10 * sim::kSecond);
+  auto got = w.logs[1].casts_from(w.eps[0]->address());
+  ASSERT_EQ(got.size(), 30u);
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_EQ(got[static_cast<std::size_t>(i)], std::to_string(i));
+  }
+}
+
+TEST(Causal, ConcurrentMessagesAllDelivered) {
+  HorusSystem::Options o;
+  o.net.loss = 0.1;
+  World w(4, kStack, o);
+  w.form_group(3 * sim::kSecond);
+  ASSERT_TRUE(w.converged());
+  for (std::size_t m = 0; m < 4; ++m) {
+    for (int i = 0; i < 10; ++i) {
+      w.eps[m]->cast(kGroup, Message::from_string("c" + std::to_string(m) +
+                                                  "." + std::to_string(i)));
+    }
+  }
+  w.sys.run_for(10 * sim::kSecond);
+  for (std::size_t m = 0; m < 4; ++m) {
+    EXPECT_EQ(w.logs[m].casts.size(), 40u) << "member " << m;
+  }
+}
+
+TEST(Causal, SurvivesCrash) {
+  HorusSystem::Options o;
+  o.net.loss = 0.05;
+  World w(4, kStack, o);
+  w.form_group(3 * sim::kSecond);
+  ASSERT_TRUE(w.converged());
+  w.eps[0]->cast(kGroup, Message::from_string("before"));
+  w.sys.run_for(100 * sim::kMillisecond);
+  w.sys.crash(*w.eps[3]);
+  w.sys.run_for(5 * sim::kSecond);
+  w.eps[1]->cast(kGroup, Message::from_string("after"));
+  w.sys.run_for(5 * sim::kSecond);
+  for (std::size_t m = 0; m < 3; ++m) {
+    auto pos = positions(w.logs[m]);
+    ASSERT_TRUE(pos.contains("before")) << "member " << m;
+    ASSERT_TRUE(pos.contains("after")) << "member " << m;
+    EXPECT_LT(pos["before"], pos["after"]) << "member " << m;
+  }
+}
+
+}  // namespace
+}  // namespace horus::testing

@@ -1,0 +1,156 @@
+// FRAG / NFRAG: fragmentation and reassembly of large messages (P12).
+#include "../common/test_util.hpp"
+#include "horus/util/rng.hpp"
+
+namespace horus::testing {
+namespace {
+
+struct FragWorld : World {
+  explicit FragWorld(std::size_t n, const std::string& spec = "FRAG:NAK:COM",
+                     HorusSystem::Options o = {})
+      : World(n, spec, o) {
+    std::vector<Address> members;
+    members.reserve(n);
+    for (auto* ep : eps) members.push_back(ep->address());
+    for (auto* ep : eps) {
+      ep->join(kGroup);
+      ep->install_view(kGroup, members);
+    }
+    sys.run_for(10 * sim::kMillisecond);
+  }
+};
+
+std::string pattern(std::size_t n) {
+  std::string s(n, ' ');
+  for (std::size_t i = 0; i < n; ++i) s[i] = static_cast<char>('A' + (i * 31) % 26);
+  return s;
+}
+
+TEST(Frag, SmallMessagePassesThrough) {
+  HorusSystem::Options o;
+  o.net.loss = 0.0;
+  FragWorld w(2, "FRAG:NAK:COM", o);
+  w.eps[0]->cast(kGroup, Message::from_string("tiny"));
+  w.sys.run_for(sim::kSecond);
+  const StackStats& s = w.eps[0]->stack().stats();
+  // One cast to two members = exactly 2 data datagrams (plus controls on
+  // timers, but within 1s only a handful of statuses). No fragmentation.
+  auto got = w.logs[1].casts_from(w.eps[0]->address());
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], "tiny");
+  (void)s;
+}
+
+TEST(Frag, ExactlyAtBoundaryRoundTrips) {
+  HorusSystem::Options o;
+  o.net.loss = 0.0;
+  FragWorld w(2, "FRAG:NAK:COM", o);
+  // Sweep sizes around the fragmentation threshold (mtu - headroom).
+  for (std::size_t size : {1200u, 1272u, 1273u, 1300u, 2544u, 2545u}) {
+    std::string body = pattern(size);
+    w.eps[0]->cast(kGroup, Message::from_payload(to_bytes(body)));
+    w.sys.run_for(sim::kSecond);
+    auto got = w.logs[1].casts_from(w.eps[0]->address());
+    ASSERT_FALSE(got.empty()) << "size " << size;
+    EXPECT_EQ(got.back().size(), size) << "size " << size;
+    EXPECT_EQ(got.back(), body) << "size " << size;
+  }
+}
+
+TEST(Frag, HugeMessageUnderLoss) {
+  HorusSystem::Options o;
+  o.net.loss = 0.2;
+  FragWorld w(2, "FRAG:NAK:COM", o);
+  std::string body = pattern(100'000);
+  w.eps[0]->cast(kGroup, Message::from_payload(to_bytes(body)));
+  w.sys.run_for(30 * sim::kSecond);
+  auto got = w.logs[1].casts_from(w.eps[0]->address());
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], body);
+}
+
+TEST(Frag, InterleavedLargeAndSmall) {
+  HorusSystem::Options o;
+  o.net.loss = 0.05;
+  FragWorld w(2, "FRAG:NAK:COM", o);
+  std::string big = pattern(10'000);
+  w.eps[0]->cast(kGroup, Message::from_string("before"));
+  w.eps[0]->cast(kGroup, Message::from_payload(to_bytes(big)));
+  w.eps[0]->cast(kGroup, Message::from_string("after"));
+  w.sys.run_for(5 * sim::kSecond);
+  auto got = w.logs[1].casts_from(w.eps[0]->address());
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], "before");
+  EXPECT_EQ(got[1], big);
+  EXPECT_EQ(got[2], "after") << "FIFO must hold across fragmented messages";
+}
+
+TEST(Frag, LargeSubsetSend) {
+  HorusSystem::Options o;
+  o.net.loss = 0.1;
+  FragWorld w(3, "FRAG:NAK:COM", o);
+  std::string big = pattern(8'000);
+  w.eps[0]->send(kGroup, {w.eps[2]->address()}, Message::from_payload(to_bytes(big)));
+  w.sys.run_for(5 * sim::kSecond);
+  ASSERT_EQ(w.logs[2].sends.size(), 1u);
+  EXPECT_EQ(w.logs[2].sends[0].payload, big);
+  EXPECT_TRUE(w.logs[1].sends.empty());
+}
+
+TEST(Frag, TwoSendersConcurrently) {
+  HorusSystem::Options o;
+  o.net.loss = 0.1;
+  FragWorld w(2, "FRAG:NAK:COM", o);
+  std::string b0 = pattern(20'000);
+  std::string b1 = pattern(15'000) + "tail";
+  w.eps[0]->cast(kGroup, Message::from_payload(to_bytes(b0)));
+  w.eps[1]->cast(kGroup, Message::from_payload(to_bytes(b1)));
+  w.sys.run_for(10 * sim::kSecond);
+  EXPECT_EQ(w.logs[1].casts_from(w.eps[0]->address()).at(0), b0);
+  EXPECT_EQ(w.logs[0].casts_from(w.eps[1]->address()).at(0), b1);
+}
+
+TEST(Nfrag, ReassemblesOverUnreliableTransport) {
+  // NFRAG sits straight on COM: no FIFO below it.
+  HorusSystem::Options o;
+  o.net.loss = 0.0;
+  o.net.delay_min = 10;
+  o.net.delay_max = 800;  // reorder fragments aggressively
+  FragWorld w(2, "NFRAG:COM", o);
+  std::string big = pattern(6'000);
+  w.eps[0]->cast(kGroup, Message::from_payload(to_bytes(big)));
+  w.sys.run_for(3 * sim::kSecond);
+  auto got = w.logs[1].casts_from(w.eps[0]->address());
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], big);
+}
+
+TEST(Nfrag, IncompleteMessageDiscarded) {
+  HorusSystem::Options o;
+  o.net.loss = 0.5;  // many fragments die; no retransmission below NFRAG
+  FragWorld w(2, "NFRAG:COM", o);
+  int delivered_intact = 0;
+  for (int i = 0; i < 20; ++i) {
+    w.eps[0]->cast(kGroup, Message::from_payload(to_bytes(pattern(5'000))));
+  }
+  w.sys.run_for(5 * sim::kSecond);
+  for (const auto& d : w.logs[1].casts) {
+    EXPECT_EQ(d.payload, pattern(5'000)) << "partial reassembly leaked";
+    ++delivered_intact;
+  }
+  EXPECT_LT(delivered_intact, 20) << "with 50% loss some messages must die";
+}
+
+TEST(Nfrag, SmallMessagesStillFlow) {
+  HorusSystem::Options o;
+  o.net.loss = 0.0;
+  FragWorld w(2, "NFRAG:COM", o);
+  w.eps[0]->cast(kGroup, Message::from_string("wee"));
+  w.sys.run_for(sim::kSecond);
+  auto got = w.logs[1].casts_from(w.eps[0]->address());
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], "wee");
+}
+
+}  // namespace
+}  // namespace horus::testing

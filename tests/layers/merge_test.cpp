@@ -1,0 +1,78 @@
+// MERGE layer unit behaviours (P16): probe discipline, probe/ack protocol,
+// and not merging when there is nothing to merge.
+#include "../common/test_util.hpp"
+
+namespace horus::testing {
+namespace {
+
+HorusSystem::Options quiet() {
+  HorusSystem::Options o;
+  o.net.loss = 0.0;
+  return o;
+}
+
+int probes_of(Endpoint* ep) {
+  std::string d = ep->dump(kGroup, "MERGE");
+  auto pos = d.find("probes=");
+  return pos == std::string::npos ? -1 : std::atoi(d.c_str() + pos + 7);
+}
+
+int merges_of(Endpoint* ep) {
+  std::string d = ep->dump(kGroup, "MERGE");
+  auto pos = d.find("merges=");
+  return pos == std::string::npos ? -1 : std::atoi(d.c_str() + pos + 7);
+}
+
+TEST(MergeLayer, NoProbesWhenViewComplete) {
+  World w(3, "MERGE:MBRSHIP:FRAG:NAK:COM", quiet());
+  w.form_group();
+  ASSERT_TRUE(w.converged());
+  w.sys.run_for(5 * sim::kSecond);
+  // Everyone it knows is in the view: the coordinator has nothing to probe.
+  EXPECT_EQ(probes_of(w.eps[0]), 0);
+  EXPECT_EQ(merges_of(w.eps[0]), 0);
+}
+
+TEST(MergeLayer, OnlyCoordinatorProbes) {
+  World w(4, "MERGE:MBRSHIP:FRAG:NAK:COM", quiet());
+  w.form_group();
+  ASSERT_TRUE(w.converged());
+  w.sys.partition({{w.eps[0], w.eps[1]}, {w.eps[2], w.eps[3]}});
+  w.sys.run_for(5 * sim::kSecond);
+  // Probing is the coordinator's job: rank-1 members stay quiet (one probe
+  // stream per partition).
+  EXPECT_GT(probes_of(w.eps[0]), 0) << "left coordinator must probe";
+  EXPECT_EQ(probes_of(w.eps[1]), 0) << "left non-coordinator must not";
+  EXPECT_GT(probes_of(w.eps[2]), 0) << "right coordinator must probe";
+  EXPECT_EQ(probes_of(w.eps[3]), 0) << "right non-coordinator must not";
+}
+
+TEST(MergeLayer, ProbesStopAfterHeal) {
+  World w(4, "MERGE:MBRSHIP:FRAG:NAK:COM", quiet());
+  w.form_group();
+  w.sys.partition({{w.eps[0], w.eps[1]}, {w.eps[2], w.eps[3]}});
+  w.sys.run_for(5 * sim::kSecond);
+  w.sys.heal();
+  w.sys.run_for(15 * sim::kSecond);
+  ASSERT_EQ(w.logs[0].views.back().size(), 4u) << "did not reunite";
+  int after_merge = probes_of(w.eps[0]);
+  w.sys.run_for(5 * sim::kSecond);
+  EXPECT_EQ(probes_of(w.eps[0]), after_merge)
+      << "coordinator keeps probing a complete view";
+}
+
+TEST(MergeLayer, CrashedMembersProbedButHarmless) {
+  // A genuinely dead member is probed forever (we cannot tell dead from
+  // partitioned -- the fail-stop simulation again); the probes go nowhere
+  // and nothing breaks.
+  World w(3, "MERGE:MBRSHIP:FRAG:NAK:COM", quiet());
+  w.form_group();
+  w.sys.crash(*w.eps[2]);
+  w.sys.run_for(8 * sim::kSecond);
+  EXPECT_EQ(w.logs[0].views.back().size(), 2u);
+  EXPECT_GT(probes_of(w.eps[0]), 0);
+  EXPECT_EQ(merges_of(w.eps[0]), 0) << "no phantom merges toward the dead";
+}
+
+}  // namespace
+}  // namespace horus::testing

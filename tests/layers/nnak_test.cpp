@@ -1,0 +1,115 @@
+// NNAK: the lightweight reliable-FIFO-unicast layer (Table 3: provides P3
+// only; casts stay best-effort).
+#include "../common/test_util.hpp"
+
+namespace horus::testing {
+namespace {
+
+struct NnakWorld : World {
+  explicit NnakWorld(std::size_t n, HorusSystem::Options o = {})
+      : World(n, "NNAK:COM", o) {
+    std::vector<Address> members;
+    members.reserve(n);
+    for (auto* ep : eps) members.push_back(ep->address());
+    for (auto* ep : eps) {
+      ep->join(kGroup);
+      ep->install_view(kGroup, members);
+    }
+    sys.run_for(10 * sim::kMillisecond);
+  }
+};
+
+TEST(Nnak, UnicastReliableFifoUnderLoss) {
+  HorusSystem::Options o;
+  o.net.loss = 0.3;
+  NnakWorld w(2, o);
+  for (int i = 0; i < 50; ++i) {
+    w.eps[0]->send(kGroup, {w.eps[1]->address()},
+                   Message::from_string(std::to_string(i)));
+  }
+  w.sys.run_for(10 * sim::kSecond);
+  ASSERT_EQ(w.logs[1].sends.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(w.logs[1].sends[static_cast<std::size_t>(i)].payload,
+              std::to_string(i));
+  }
+}
+
+TEST(Nnak, CastsStayBestEffort) {
+  // With total loss, casts silently vanish (P1 semantics); NNAK neither
+  // recovers nor reorders them.
+  HorusSystem::Options o;
+  o.net.loss = 1.0;
+  NnakWorld w(2, o);
+  for (int i = 0; i < 10; ++i) {
+    w.eps[0]->cast(kGroup, Message::from_string("gone"));
+  }
+  w.sys.run_for(2 * sim::kSecond);
+  EXPECT_TRUE(w.logs[1].casts.empty());
+}
+
+TEST(Nnak, CastsDeliveredWhenNetworkClean) {
+  HorusSystem::Options o;
+  o.net.loss = 0.0;
+  NnakWorld w(2, o);
+  w.eps[0]->cast(kGroup, Message::from_string("hi"));
+  w.sys.run_for(sim::kSecond);
+  ASSERT_EQ(w.logs[1].casts.size(), 1u);
+  EXPECT_EQ(w.logs[1].casts[0].payload, "hi");
+}
+
+TEST(Nnak, IndependentPerPeerStreams) {
+  HorusSystem::Options o;
+  o.net.loss = 0.2;
+  NnakWorld w(3, o);
+  for (int i = 0; i < 20; ++i) {
+    w.eps[0]->send(kGroup, {w.eps[1]->address()},
+                   Message::from_string("to1-" + std::to_string(i)));
+    w.eps[0]->send(kGroup, {w.eps[2]->address()},
+                   Message::from_string("to2-" + std::to_string(i)));
+  }
+  w.sys.run_for(10 * sim::kSecond);
+  ASSERT_EQ(w.logs[1].sends.size(), 20u);
+  ASSERT_EQ(w.logs[2].sends.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(w.logs[1].sends[static_cast<std::size_t>(i)].payload,
+              "to1-" + std::to_string(i));
+    EXPECT_EQ(w.logs[2].sends[static_cast<std::size_t>(i)].payload,
+              "to2-" + std::to_string(i));
+  }
+}
+
+TEST(Nnak, BidirectionalStreams) {
+  HorusSystem::Options o;
+  o.net.loss = 0.15;
+  NnakWorld w(2, o);
+  for (int i = 0; i < 25; ++i) {
+    w.eps[0]->send(kGroup, {w.eps[1]->address()},
+                   Message::from_string("a" + std::to_string(i)));
+    w.eps[1]->send(kGroup, {w.eps[0]->address()},
+                   Message::from_string("b" + std::to_string(i)));
+  }
+  w.sys.run_for(10 * sim::kSecond);
+  EXPECT_EQ(w.logs[1].sends.size(), 25u);
+  EXPECT_EQ(w.logs[0].sends.size(), 25u);
+}
+
+TEST(Nnak, OneShotLossRecovered) {
+  // The same one-shot blind spot NAK had: a single lost unicast with no
+  // follow-up traffic must still be repaired via the periodic status.
+  HorusSystem::Options o;
+  o.net.loss = 0.0;
+  NnakWorld w(2, o);
+  sim::LinkParams dead;
+  dead.loss = 1.0;
+  w.sys.net().set_link_params(w.eps[0]->address().id, w.eps[1]->address().id, dead);
+  w.eps[0]->send(kGroup, {w.eps[1]->address()}, Message::from_string("solo"));
+  w.sys.run_for(5 * sim::kMillisecond);
+  w.sys.net().clear_link_params(w.eps[0]->address().id, w.eps[1]->address().id);
+  w.sys.run_for(3 * sim::kSecond);
+  ASSERT_EQ(w.logs[1].sends.size(), 1u);
+  EXPECT_EQ(w.logs[1].sends[0].payload, "solo");
+}
+
+}  // namespace
+}  // namespace horus::testing

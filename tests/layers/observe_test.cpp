@@ -1,0 +1,108 @@
+// LOG / TRACE / ACCOUNT: the observability protocol types of Figure 1's
+// table, including LOG's headline capability -- recovering a group's
+// delivered history after a TOTAL crash (every member gone).
+#include "../common/test_util.hpp"
+#include "horus/layers/observe.hpp"
+
+namespace horus::testing {
+namespace {
+
+HorusSystem::Options quiet() {
+  HorusSystem::Options o;
+  o.net.loss = 0.0;
+  return o;
+}
+
+TEST(LogLayer, JournalsDeliveredCasts) {
+  auto store = std::make_shared<layers::LogStore>();
+  HorusSystem::Options o = quiet();
+  o.stack.log_store_erased = store;
+  World w(2, "LOG:MBRSHIP:FRAG:NAK:COM", o);
+  w.form_group();
+  ASSERT_TRUE(w.converged());
+  for (int i = 0; i < 5; ++i) {
+    w.eps[0]->cast(kGroup, Message::from_string("j" + std::to_string(i)));
+  }
+  w.sys.run_for(sim::kSecond);
+  const auto& journal = store->journal(w.eps[1]->address(), kGroup);
+  ASSERT_EQ(journal.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(to_string(journal[static_cast<std::size_t>(i)].payload),
+              "j" + std::to_string(i));
+    EXPECT_EQ(journal[static_cast<std::size_t>(i)].source, w.eps[0]->address());
+  }
+}
+
+TEST(LogLayer, TotalCrashRecovery) {
+  // "logging -- tolerance of total crash failures": every member dies;
+  // a new generation recovers the application history from the store.
+  auto store = std::make_shared<layers::LogStore>();
+  HorusSystem::Options o = quiet();
+  o.stack.log_store_erased = store;
+  HorusSystem sys(o);
+  Address addr_a, addr_b;
+  {
+    auto& a = sys.create_endpoint("LOG:MBRSHIP:FRAG:NAK:COM");
+    auto& b = sys.create_endpoint("LOG:MBRSHIP:FRAG:NAK:COM");
+    addr_a = a.address();
+    addr_b = b.address();
+    a.join(kGroup);
+    sys.run_for(100 * sim::kMillisecond);
+    b.join(kGroup, a.address());
+    sys.run_for(2 * sim::kSecond);
+    a.cast(kGroup, Message::from_string("important state 1"));
+    a.cast(kGroup, Message::from_string("important state 2"));
+    sys.run_for(sim::kSecond);
+    // TOTAL crash: everyone dies.
+    sys.crash(a);
+    sys.crash(b);
+    sys.run_for(sim::kSecond);
+  }
+  // A recovering process replays b's journal to rebuild its state.
+  const auto& journal = store->journal(addr_b, kGroup);
+  ASSERT_EQ(journal.size(), 2u);
+  EXPECT_EQ(to_string(journal[0].payload), "important state 1");
+  EXPECT_EQ(to_string(journal[1].payload), "important state 2");
+  EXPECT_EQ(journal[0].source, addr_a);
+}
+
+TEST(Trace, CountsEventsBothDirections) {
+  World w(2, "TRACE:MBRSHIP:FRAG:NAK:COM", quiet());
+  w.form_group();
+  w.eps[0]->cast(kGroup, Message::from_string("x"));
+  w.sys.run_for(sim::kSecond);
+  std::string d = w.eps[0]->dump(kGroup, "TRACE");
+  EXPECT_NE(d.find("down:cast=1"), std::string::npos) << d;
+  EXPECT_NE(d.find("up:CAST=1"), std::string::npos) << d;
+  EXPECT_NE(d.find("up:VIEW="), std::string::npos) << d;
+}
+
+TEST(Account, MetersPerPeerUsage) {
+  World w(3, "ACCOUNT:MBRSHIP:FRAG:NAK:COM", quiet());
+  w.form_group();
+  ASSERT_TRUE(w.converged());
+  w.eps[1]->cast(kGroup, Message::from_string("12345"));
+  w.eps[1]->cast(kGroup, Message::from_string("1234567890"));
+  w.eps[2]->cast(kGroup, Message::from_string("abc"));
+  w.sys.run_for(sim::kSecond);
+  std::string d = w.eps[0]->dump(kGroup, "ACCOUNT");
+  EXPECT_NE(d.find(to_string(w.eps[1]->address()) + "=2msg/15B"),
+            std::string::npos)
+      << d;
+  EXPECT_NE(d.find(to_string(w.eps[2]->address()) + "=1msg/3B"),
+            std::string::npos)
+      << d;
+}
+
+TEST(Observe, AllThreeStackTogether) {
+  World w(2, "TRACE:ACCOUNT:LOG:MBRSHIP:FRAG:NAK:COM", quiet());
+  w.form_group();
+  w.eps[0]->cast(kGroup, Message::from_string("through all observers"));
+  w.sys.run_for(sim::kSecond);
+  auto got = w.logs[1].casts_from(w.eps[0]->address());
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], "through all observers");
+}
+
+}  // namespace
+}  // namespace horus::testing

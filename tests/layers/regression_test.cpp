@@ -1,0 +1,120 @@
+// Regression tests for protocol bugs found (and fixed) during development.
+// Each test reconstructs the precise triggering scenario; see the comments
+// for the failure mode it guards against.
+#include "../common/test_util.hpp"
+
+namespace horus::testing {
+namespace {
+
+HorusSystem::Options quiet() {
+  HorusSystem::Options o;
+  o.net.loss = 0.0;
+  return o;
+}
+
+// BUG 1: a one-shot unicast control message (e.g. a VIEWINSTALL) that was
+// lost could never be recovered: the receiver had no idea the stream
+// existed, so it never NAKed. Fixed by advertising per-destination unicast
+// send positions in NAK's status gossip.
+TEST(Regression, OneShotUnicastLossRecovered) {
+  HorusSystem::Options o = quiet();
+  World w(2, "NAK:COM", o);
+  std::vector<Address> members = {w.eps[0]->address(), w.eps[1]->address()};
+  for (auto* ep : w.eps) {
+    ep->join(kGroup);
+    ep->install_view(kGroup, members);
+  }
+  w.sys.run_for(10 * sim::kMillisecond);
+  // Kill the link for exactly one subset send, then restore it. No further
+  // unicast traffic flows on that stream -- recovery must come from the
+  // status reports alone.
+  sim::LinkParams dead;
+  dead.loss = 1.0;
+  w.sys.net().set_link_params(w.eps[0]->address().id, w.eps[1]->address().id, dead);
+  w.eps[0]->send(kGroup, {w.eps[1]->address()}, Message::from_string("only one"));
+  w.sys.run_for(5 * sim::kMillisecond);
+  w.sys.net().clear_link_params(w.eps[0]->address().id, w.eps[1]->address().id);
+  w.sys.run_for(2 * sim::kSecond);
+  ASSERT_EQ(w.logs[1].sends.size(), 1u)
+      << "the lost one-shot unicast was never repaired";
+  EXPECT_EQ(w.logs[1].sends[0].payload, "only one");
+}
+
+// BUG 2: a sender's OWN last multicast could be lost on loopback forever:
+// nobody sends status reports to themselves, so the tail loss was
+// invisible. Fixed by recording our own stream extent at send time.
+TEST(Regression, SenderRecoversOwnLoopbackTailLoss) {
+  HorusSystem::Options o = quiet();
+  World w(2, "NAK:COM", o);
+  std::vector<Address> members = {w.eps[0]->address(), w.eps[1]->address()};
+  for (auto* ep : w.eps) {
+    ep->join(kGroup);
+    ep->install_view(kGroup, members);
+  }
+  w.sys.run_for(10 * sim::kMillisecond);
+  // Self-link drops everything for the moment of the final cast.
+  sim::LinkParams dead;
+  dead.loss = 1.0;
+  w.sys.net().set_link_params(w.eps[0]->address().id, w.eps[0]->address().id, dead);
+  w.eps[0]->cast(kGroup, Message::from_string("my last words"));
+  w.sys.run_for(5 * sim::kMillisecond);
+  w.sys.net().clear_link_params(w.eps[0]->address().id, w.eps[0]->address().id);
+  // NOTHING else is ever sent. The sender must still self-repair.
+  w.sys.run_for(2 * sim::kSecond);
+  ASSERT_EQ(w.logs[0].casts.size(), 1u)
+      << "sender never delivered its own final cast";
+  EXPECT_EQ(w.logs[0].casts[0].payload, "my last words");
+}
+
+// BUG 3: a VIEWINSTALL/RESYNC from a *foreign* partition lineage with a
+// higher view seq, not containing the receiver, used to eject the receiver
+// from its own healthy group (EXIT). Exclusion must only be honored from
+// the member's own view chain.
+TEST(Regression, ForeignLineageInstallDoesNotEject) {
+  World w(4, "MBRSHIP:FRAG:NAK:COM", quiet());
+  w.form_group();
+  ASSERT_TRUE(w.converged());
+  // Split 2|2 and churn the RIGHT side through several views so its seq
+  // races ahead of the left's.
+  w.sys.partition({{w.eps[0], w.eps[1]}, {w.eps[2], w.eps[3]}});
+  w.sys.run_for(4 * sim::kSecond);
+  // Right side: force extra flushes via the external detector (false
+  // suspicion + rejoin bumps the seq).
+  w.eps[2]->flush(kGroup, {w.eps[3]->address()});
+  w.sys.run_for(2 * sim::kSecond);
+  w.eps[3]->join(kGroup, w.eps[2]->address());
+  w.sys.run_for(2 * sim::kSecond);
+  // Heal; the right coordinator's higher-seq views will reach the left
+  // side during merging. Nobody on the left may be ejected.
+  w.sys.heal();
+  w.eps[2]->merge(kGroup, w.eps[0]->address());
+  w.sys.run_for(10 * sim::kSecond);
+  EXPECT_EQ(w.logs[0].exits, 0) << "left member 0 was ejected";
+  EXPECT_EQ(w.logs[1].exits, 0) << "left member 1 was ejected";
+  // And the group eventually reunites.
+  EXPECT_EQ(w.logs[0].views.back().size(), 4u)
+      << "final view " << w.logs[0].views.back().to_string();
+}
+
+// BUG 4: STABLE's gossip used to ride the multicast stream, consuming
+// MBRSHIP sequence numbers the application could never ack -- the
+// stability prefix froze at the first gossip. Guard: prefix must pass a
+// gossip boundary.
+TEST(Regression, StabilityAdvancesPastGossip) {
+  HorusSystem::Options o = quiet();
+  o.stack.stability_gossip_interval = 15 * sim::kMillisecond;
+  World w(2, "SAFE:STABLE:MBRSHIP:FRAG:NAK:COM", o);
+  w.form_group();
+  ASSERT_TRUE(w.converged());
+  // Spread casts across many gossip intervals.
+  for (int i = 0; i < 8; ++i) {
+    w.eps[0]->cast(kGroup, Message::from_string("s" + std::to_string(i)));
+    w.sys.run_for(50 * sim::kMillisecond);
+  }
+  w.sys.run_for(3 * sim::kSecond);
+  auto got = w.logs[1].casts_from(w.eps[0]->address());
+  ASSERT_EQ(got.size(), 8u) << "SAFE stalled behind un-ackable gossip casts";
+}
+
+}  // namespace
+}  // namespace horus::testing

@@ -1,0 +1,143 @@
+// TOTAL layer: agreement on a single delivery order, token behaviour,
+// and the deterministic re-ordering rule at view changes (Section 7).
+#include <algorithm>
+
+#include "../common/test_util.hpp"
+
+namespace horus::testing {
+namespace {
+
+constexpr const char* kStack = "TOTAL:MBRSHIP:FRAG:NAK:COM";
+
+TEST(Total, AllMembersSameOrderConcurrentSenders) {
+  HorusSystem::Options o;
+  o.net.loss = 0.05;
+  World w(4, kStack, o);
+  w.form_group();
+  ASSERT_TRUE(w.converged());
+  // Everyone casts concurrently, repeatedly.
+  for (int round = 0; round < 10; ++round) {
+    for (std::size_t m = 0; m < 4; ++m) {
+      w.eps[m]->cast(kGroup, Message::from_string(
+                                 "r" + std::to_string(round) + "." + std::to_string(m)));
+    }
+    w.sys.run_for(30 * sim::kMillisecond);
+  }
+  w.sys.run_for(10 * sim::kSecond);
+  auto ref = w.logs[0].all_cast_payloads();
+  ASSERT_EQ(ref.size(), 40u);
+  for (std::size_t m = 1; m < 4; ++m) {
+    EXPECT_EQ(w.logs[m].all_cast_payloads(), ref)
+        << "member " << m << " delivered a different total order";
+  }
+}
+
+TEST(Total, OrderIsFifoPerSender) {
+  // Total order must extend each sender's FIFO order.
+  HorusSystem::Options o;
+  o.net.loss = 0.0;
+  World w(3, kStack, o);
+  w.form_group();
+  for (int i = 0; i < 20; ++i) {
+    w.eps[1]->cast(kGroup, Message::from_string(std::to_string(i)));
+  }
+  w.sys.run_for(5 * sim::kSecond);
+  auto got = w.logs[2].casts_from(w.eps[1]->address());
+  ASSERT_EQ(got.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(got[static_cast<std::size_t>(i)], std::to_string(i));
+  }
+}
+
+TEST(Total, TokenRotatesAmongSenders) {
+  // With several active senders the token must visit them all (no sender
+  // starves): every member's casts eventually appear.
+  HorusSystem::Options o;
+  o.net.loss = 0.0;
+  World w(5, kStack, o);
+  w.form_group();
+  ASSERT_TRUE(w.converged());
+  for (std::size_t m = 0; m < 5; ++m) {
+    for (int i = 0; i < 5; ++i) {
+      w.eps[m]->cast(kGroup, Message::from_string("s" + std::to_string(m)));
+    }
+  }
+  w.sys.run_for(10 * sim::kSecond);
+  for (std::size_t m = 0; m < 5; ++m) {
+    EXPECT_EQ(w.logs[0].casts_from(w.eps[m]->address()).size(), 5u)
+        << "sender " << m << " starved";
+  }
+}
+
+TEST(Total, SurvivesTokenHolderCrash) {
+  // Section 7: "In case of a failure, the token may be lost. This,
+  // however, is not a problem."
+  HorusSystem::Options o;
+  o.net.loss = 0.0;
+  World w(4, kStack, o);
+  w.form_group();
+  ASSERT_TRUE(w.converged());
+  // Rank 0 holds the first token; crash it while traffic flows.
+  for (std::size_t m = 1; m < 4; ++m) {
+    w.eps[m]->cast(kGroup, Message::from_string("pre" + std::to_string(m)));
+  }
+  w.sys.run_for(20 * sim::kMillisecond);
+  w.sys.crash(*w.eps[0]);
+  for (std::size_t m = 1; m < 4; ++m) {
+    w.eps[m]->cast(kGroup, Message::from_string("post" + std::to_string(m)));
+  }
+  w.sys.run_for(10 * sim::kSecond);
+  // All survivors agree on one order containing all six messages.
+  auto ref = w.logs[1].all_cast_payloads();
+  EXPECT_EQ(ref.size(), 6u);
+  for (std::size_t m = 2; m < 4; ++m) {
+    EXPECT_EQ(w.logs[m].all_cast_payloads(), ref) << "member " << m;
+  }
+}
+
+TEST(Total, ViewChangeOrderDeterministic) {
+  // Messages in flight at a crash get the deterministic rank-order rule;
+  // run the same scenario at every member and require identical orders.
+  HorusSystem::Options o;
+  o.net.loss = 0.1;
+  o.seed = 77;
+  World w(5, kStack, o);
+  w.form_group();
+  ASSERT_TRUE(w.converged());
+  for (int burst = 0; burst < 3; ++burst) {
+    for (std::size_t m = 0; m < 5; ++m) {
+      w.eps[m]->cast(kGroup,
+                     Message::from_string("b" + std::to_string(burst) + "." +
+                                          std::to_string(m)));
+    }
+    if (burst == 1) w.sys.crash(*w.eps[2]);
+    w.sys.run_for(50 * sim::kMillisecond);
+  }
+  w.sys.run_for(10 * sim::kSecond);
+  auto ref = w.logs[0].all_cast_payloads();
+  for (std::size_t m : {1u, 3u, 4u}) {
+    EXPECT_EQ(w.logs[m].all_cast_payloads(), ref)
+        << "member " << m << " diverged across the view change";
+  }
+}
+
+TEST(Total, NoDuplicatesNoReordersLongRun) {
+  HorusSystem::Options o;
+  o.net.loss = 0.08;
+  o.net.duplicate = 0.05;
+  World w(3, kStack, o);
+  w.form_group();
+  for (int i = 0; i < 60; ++i) {
+    w.eps[static_cast<std::size_t>(i % 3)]->cast(
+        kGroup, Message::from_string("n" + std::to_string(i)));
+    w.sys.run_for(10 * sim::kMillisecond);
+  }
+  w.sys.run_for(10 * sim::kSecond);
+  auto all = w.logs[0].all_cast_payloads();
+  ASSERT_EQ(all.size(), 60u);
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::unique(all.begin(), all.end()), all.end()) << "duplicates";
+}
+
+}  // namespace
+}  // namespace horus::testing

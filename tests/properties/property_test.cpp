@@ -1,0 +1,79 @@
+#include "horus/properties/property.hpp"
+
+#include <gtest/gtest.h>
+
+namespace horus::props {
+namespace {
+
+TEST(Property, MaskBitsAreDistinct) {
+  PropertySet all = 0;
+  for (int i = 1; i <= kPropertyCount; ++i) {
+    PropertySet m = mask(static_cast<Property>(i));
+    EXPECT_EQ(all & m, 0u) << "P" << i << " overlaps";
+    all |= m;
+  }
+  EXPECT_EQ(all, kAllProperties);
+}
+
+TEST(Property, MakeSetAndHas) {
+  PropertySet s = make_set({Property::kFifoUnicast, Property::kTotalOrder});
+  EXPECT_TRUE(has(s, Property::kFifoUnicast));
+  EXPECT_TRUE(has(s, Property::kTotalOrder));
+  EXPECT_FALSE(has(s, Property::kCausal));
+}
+
+TEST(Property, IncludesIsSubset) {
+  PropertySet big = make_set({Property::kBestEffort, Property::kCausal,
+                              Property::kSafe});
+  EXPECT_TRUE(includes(big, make_set({Property::kCausal})));
+  EXPECT_TRUE(includes(big, big));
+  EXPECT_TRUE(includes(big, 0));
+  EXPECT_FALSE(includes(big, make_set({Property::kTotalOrder})));
+}
+
+TEST(Property, Table4DescriptionsComplete) {
+  // Table 4's wording, verbatim for every property.
+  EXPECT_EQ(description(Property::kBestEffort), "best effort delivery");
+  EXPECT_EQ(description(Property::kPrioritized), "prioritized effort delivery");
+  EXPECT_EQ(description(Property::kFifoUnicast), "FIFO unicast delivery");
+  EXPECT_EQ(description(Property::kFifoMulticast), "FIFO multicast delivery");
+  EXPECT_EQ(description(Property::kCausal), "causal delivery");
+  EXPECT_EQ(description(Property::kTotalOrder), "totally ordered delivery");
+  EXPECT_EQ(description(Property::kSafe), "safe delivery");
+  EXPECT_EQ(description(Property::kVirtualSemiSync),
+            "virtually semi-synchronous delivery");
+  EXPECT_EQ(description(Property::kVirtualSync),
+            "virtually synchronous delivery");
+  EXPECT_EQ(description(Property::kGarblingDetect),
+            "byte re-ordering detection");
+  EXPECT_EQ(description(Property::kSourceAddress), "source address");
+  EXPECT_EQ(description(Property::kLargeMessages), "large messages");
+  EXPECT_EQ(description(Property::kCausalTimestamps), "causal timestamps");
+  EXPECT_EQ(description(Property::kStabilityInfo), "stability information");
+  EXPECT_EQ(description(Property::kConsistentViews), "consistent views");
+  EXPECT_EQ(description(Property::kAutoMerge), "automatic view merging");
+}
+
+TEST(Property, ShortNames) {
+  EXPECT_EQ(short_name(Property::kBestEffort), "P1");
+  EXPECT_EQ(short_name(Property::kAutoMerge), "P16");
+}
+
+TEST(Property, ToStringRendersSet) {
+  EXPECT_EQ(to_string(0), "{}");
+  EXPECT_EQ(to_string(make_set({Property::kFifoUnicast, Property::kTotalOrder})),
+            "{P3,P6}");
+  std::string all = to_string(kAllProperties);
+  EXPECT_NE(all.find("P1,"), std::string::npos);
+  EXPECT_NE(all.find("P16"), std::string::npos);
+}
+
+TEST(Property, ToListAscending) {
+  auto l = to_list(make_set({Property::kSafe, Property::kBestEffort}));
+  ASSERT_EQ(l.size(), 2u);
+  EXPECT_EQ(l[0], Property::kBestEffort);
+  EXPECT_EQ(l[1], Property::kSafe);
+}
+
+}  // namespace
+}  // namespace horus::props

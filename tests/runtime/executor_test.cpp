@@ -1,0 +1,124 @@
+#include "horus/runtime/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace horus::runtime {
+namespace {
+
+TEST(InlineExecutor, RunsImmediately) {
+  InlineExecutor ex;
+  int ran = 0;
+  ex.post([&] { ++ran; });
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(InlineExecutor, Reentrant) {
+  InlineExecutor ex;
+  std::vector<int> order;
+  ex.post([&] {
+    order.push_back(1);
+    ex.post([&] { order.push_back(2); });  // runs inside the outer task
+    order.push_back(3);
+  });
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(MonitorExecutor, RunToCompletion) {
+  // The defining monitor property: a task posted from inside a task runs
+  // AFTER the current task finishes -- one logical thread in the stack.
+  MonitorExecutor ex;
+  std::vector<int> order;
+  ex.post([&] {
+    order.push_back(1);
+    ex.post([&] { order.push_back(2); });
+    order.push_back(3);
+  });
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(MonitorExecutor, DeepNestingDrains) {
+  MonitorExecutor ex;
+  int count = 0;
+  std::function<void(int)> recurse = [&](int depth) {
+    ++count;
+    if (depth > 0) ex.post([&recurse, depth] { recurse(depth - 1); });
+  };
+  ex.post([&] { recurse(100); });
+  EXPECT_EQ(count, 101);
+}
+
+TEST(MonitorExecutor, FifoOrder) {
+  MonitorExecutor ex;
+  std::vector<int> order;
+  ex.post([&] {
+    for (int i = 0; i < 5; ++i) ex.post([&order, i] { order.push_back(i); });
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SequencedExecutor, ExecutesInTicketOrder) {
+  SequencedExecutor ex;
+  std::vector<int> order;
+  ex.post([&] {
+    ex.post([&] { order.push_back(2); });
+    ex.post([&] { order.push_back(3); });
+    order.push_back(1);
+  });
+  ex.drain();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SequencedExecutor, ThreadSafePosting) {
+  SequencedExecutor ex;
+  std::atomic<int> count{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 250; ++i) {
+        ex.post([&] { count.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  ex.drain();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPoolExecutor, RunsAllTasks) {
+  ThreadPoolExecutor ex(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    ex.post([&] { count.fetch_add(1); });
+  }
+  ex.drain();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolExecutor, StackLockSerializesBodies) {
+  // The per-stack mutex means task bodies never overlap, even with many
+  // worker threads (threaded Horus semantics).
+  ThreadPoolExecutor ex(4);
+  int unguarded = 0;  // written without atomics: the stack lock protects it
+  for (int i = 0; i < 1000; ++i) {
+    ex.post([&] { ++unguarded; });
+  }
+  ex.drain();
+  EXPECT_EQ(unguarded, 1000);
+}
+
+TEST(ThreadPoolExecutor, DrainWaitsForActive) {
+  ThreadPoolExecutor ex(2);
+  std::atomic<bool> done{false};
+  ex.post([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    done = true;
+  });
+  ex.drain();
+  EXPECT_TRUE(done.load());
+}
+
+}  // namespace
+}  // namespace horus::runtime

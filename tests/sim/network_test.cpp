@@ -1,0 +1,198 @@
+#include "horus/sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "horus/util/serialize.hpp"
+
+namespace horus::sim {
+namespace {
+
+struct Rig {
+  Scheduler sched;
+  SimNetwork net{sched, 1234};
+  std::map<NodeId, std::vector<Bytes>> inbox;
+
+  void attach(NodeId n) {
+    net.attach(n, [this, n](NodeId, ByteSpan data) {
+      inbox[n].emplace_back(data.begin(), data.end());
+    });
+  }
+};
+
+TEST(SimNetwork, DeliversWithLatency) {
+  Rig r;
+  r.attach(2);
+  r.net.send(1, 2, to_bytes("hi"));
+  EXPECT_TRUE(r.inbox[2].empty());  // not synchronous
+  r.sched.run();
+  ASSERT_EQ(r.inbox[2].size(), 1u);
+  EXPECT_EQ(to_string(r.inbox[2][0]), "hi");
+  EXPECT_GE(r.sched.now(), r.net.default_params().delay_min);
+  EXPECT_LE(r.sched.now(), r.net.default_params().delay_max);
+}
+
+TEST(SimNetwork, SelfDeliveryWorks) {
+  Rig r;
+  r.attach(1);
+  r.net.send(1, 1, to_bytes("me"));
+  r.sched.run();
+  EXPECT_EQ(r.inbox[1].size(), 1u);
+}
+
+TEST(SimNetwork, LossRateRoughlyHonoured) {
+  Rig r;
+  r.attach(2);
+  LinkParams p;
+  p.loss = 0.3;
+  r.net.set_default_params(p);
+  for (int i = 0; i < 2000; ++i) r.net.send(1, 2, to_bytes("x"));
+  r.sched.run();
+  double delivered = static_cast<double>(r.inbox[2].size()) / 2000;
+  EXPECT_NEAR(delivered, 0.7, 0.05);
+  EXPECT_GT(r.net.stats().dropped_loss, 0u);
+}
+
+TEST(SimNetwork, DuplicationDelivers2Copies) {
+  Rig r;
+  r.attach(2);
+  LinkParams p;
+  p.duplicate = 1.0;
+  r.net.set_default_params(p);
+  r.net.send(1, 2, to_bytes("x"));
+  r.sched.run();
+  EXPECT_EQ(r.inbox[2].size(), 2u);
+  EXPECT_EQ(r.net.stats().duplicated, 1u);
+}
+
+TEST(SimNetwork, CorruptionFlipsBytes) {
+  Rig r;
+  r.attach(2);
+  LinkParams p;
+  p.corrupt = 1.0;
+  r.net.set_default_params(p);
+  Bytes orig(64, 0x42);
+  r.net.send(1, 2, orig);
+  r.sched.run();
+  ASSERT_EQ(r.inbox[2].size(), 1u);
+  EXPECT_NE(r.inbox[2][0], orig);
+  EXPECT_EQ(r.inbox[2][0].size(), orig.size());
+}
+
+TEST(SimNetwork, JitterReordersBursts) {
+  Rig r;
+  r.attach(2);
+  LinkParams p;
+  p.delay_min = 10;
+  p.delay_max = 1000;
+  r.net.set_default_params(p);
+  for (int i = 0; i < 50; ++i) {
+    Writer w;
+    w.u32(static_cast<std::uint32_t>(i));
+    r.net.send(1, 2, w.data());
+  }
+  r.sched.run();
+  ASSERT_EQ(r.inbox[2].size(), 50u);
+  bool reordered = false;
+  for (std::size_t i = 0; i < 50; ++i) {
+    Reader rd(r.inbox[2][i]);
+    if (rd.u32() != i) reordered = true;
+  }
+  EXPECT_TRUE(reordered) << "wide jitter window should reorder a burst";
+}
+
+TEST(SimNetwork, MtuDropsOversize) {
+  Rig r;
+  r.attach(2);
+  Bytes big(r.net.default_params().mtu + 1, 0);
+  r.net.send(1, 2, big);
+  r.sched.run();
+  EXPECT_TRUE(r.inbox[2].empty());
+  EXPECT_EQ(r.net.stats().dropped_mtu, 1u);
+}
+
+TEST(SimNetwork, CrashStopsDelivery) {
+  Rig r;
+  r.attach(2);
+  r.net.send(1, 2, to_bytes("a"));
+  r.net.crash(2);
+  r.net.send(1, 2, to_bytes("b"));
+  r.sched.run();
+  EXPECT_TRUE(r.inbox[2].empty());  // in-flight 'a' discarded at delivery
+  // Both datagrams end up dropped-at-delivery: 'a' was in flight when the
+  // crash happened, 'b' was sent to an already-crashed node.
+  EXPECT_EQ(r.net.stats().dropped_crashed, 2u);
+  EXPECT_FALSE(r.net.is_attached(2));
+}
+
+TEST(SimNetwork, PartitionBlocksAcrossCells) {
+  Rig r;
+  r.attach(1);
+  r.attach(2);
+  r.attach(3);
+  r.net.set_partitions({{1, 2}, {3}});
+  EXPECT_TRUE(r.net.can_reach(1, 2));
+  EXPECT_FALSE(r.net.can_reach(1, 3));
+  r.net.send(1, 2, to_bytes("ok"));
+  r.net.send(1, 3, to_bytes("blocked"));
+  r.sched.run();
+  EXPECT_EQ(r.inbox[2].size(), 1u);
+  EXPECT_TRUE(r.inbox[3].empty());
+  EXPECT_GT(r.net.stats().dropped_partition, 0u);
+}
+
+TEST(SimNetwork, PartitionAppliesToInFlight) {
+  Rig r;
+  r.attach(2);
+  r.net.send(1, 2, to_bytes("x"));
+  r.net.set_partitions({{1}, {2}});  // partition forms while in flight
+  r.sched.run();
+  EXPECT_TRUE(r.inbox[2].empty());
+}
+
+TEST(SimNetwork, HealRestoresDelivery) {
+  Rig r;
+  r.attach(2);
+  r.net.set_partitions({{1}, {2}});
+  r.net.send(1, 2, to_bytes("a"));
+  r.sched.run();
+  r.net.set_partitions({});
+  r.net.send(1, 2, to_bytes("b"));
+  r.sched.run();
+  ASSERT_EQ(r.inbox[2].size(), 1u);
+  EXPECT_EQ(to_string(r.inbox[2][0]), "b");
+}
+
+TEST(SimNetwork, PerLinkOverrides) {
+  Rig r;
+  r.attach(2);
+  r.attach(3);
+  LinkParams lossy;
+  lossy.loss = 1.0;
+  r.net.set_link_params(1, 2, lossy);
+  r.net.send(1, 2, to_bytes("lost"));
+  r.net.send(1, 3, to_bytes("kept"));
+  r.sched.run();
+  EXPECT_TRUE(r.inbox[2].empty());
+  EXPECT_EQ(r.inbox[3].size(), 1u);
+  r.net.clear_link_params(1, 2);
+  r.net.send(1, 2, to_bytes("now"));
+  r.sched.run();
+  EXPECT_EQ(r.inbox[2].size(), 1u);
+}
+
+TEST(SimNetwork, StatsAccumulate) {
+  Rig r;
+  r.attach(2);
+  r.net.send(1, 2, to_bytes("abc"));
+  r.sched.run();
+  EXPECT_EQ(r.net.stats().sent, 1u);
+  EXPECT_EQ(r.net.stats().delivered, 1u);
+  EXPECT_EQ(r.net.stats().bytes_sent, 3u);
+  r.net.reset_stats();
+  EXPECT_EQ(r.net.stats().sent, 0u);
+}
+
+}  // namespace
+}  // namespace horus::sim

@@ -1,0 +1,54 @@
+#include "horus/util/crc32.hpp"
+
+#include <gtest/gtest.h>
+
+#include "horus/util/rng.hpp"
+
+namespace horus {
+namespace {
+
+TEST(Crc32, KnownVectors) {
+  // Standard IEEE CRC-32 check values.
+  EXPECT_EQ(crc32(to_bytes("123456789")), 0xcbf43926u);
+  EXPECT_EQ(crc32(to_bytes("")), 0x00000000u);
+  EXPECT_EQ(crc32(to_bytes("a")), 0xe8b7be43u);
+  EXPECT_EQ(crc32(to_bytes("The quick brown fox jumps over the lazy dog")),
+            0x414fa339u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  Bytes data = to_bytes("hello, incremental world");
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    std::uint32_t a = crc32(ByteSpan(data).first(split));
+    std::uint32_t b = crc32_update(a, ByteSpan(data).subspan(split));
+    EXPECT_EQ(b, crc32(data)) << "split at " << split;
+  }
+}
+
+TEST(Crc32, DetectsSingleBitFlips) {
+  Rng rng(7);
+  Bytes data(256, 0);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64());
+  std::uint32_t ref = crc32(data);
+  for (int i = 0; i < 100; ++i) {
+    Bytes copy = data;
+    std::size_t byte = rng.next_below(copy.size());
+    copy[byte] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+    EXPECT_NE(crc32(copy), ref);
+  }
+}
+
+TEST(Crc32, DistinctPrefixesDistinctCrcs) {
+  // Appending bytes changes the checksum (no trivial prefix collisions).
+  Bytes data;
+  std::uint32_t prev = crc32(data);
+  for (int i = 0; i < 64; ++i) {
+    data.push_back(static_cast<std::uint8_t>(i));
+    std::uint32_t cur = crc32(data);
+    EXPECT_NE(cur, prev);
+    prev = cur;
+  }
+}
+
+}  // namespace
+}  // namespace horus

@@ -1,0 +1,88 @@
+#include "horus/util/crypto.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "horus/util/rng.hpp"
+
+namespace horus {
+namespace {
+
+TEST(Mac64, DeterministicPerKey) {
+  Key k{1, 2};
+  Bytes m = to_bytes("authenticate me");
+  EXPECT_EQ(mac64(k, m), mac64(k, m));
+  EXPECT_NE(mac64(k, m), mac64(Key{1, 3}, m));
+  EXPECT_NE(mac64(k, m), mac64(Key{2, 2}, m));
+}
+
+TEST(Mac64, SensitiveToEveryByte) {
+  Key k{0xfeed, 0xf00d};
+  Bytes m(64, 0x55);
+  std::uint64_t ref = mac64(k, m);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    Bytes copy = m;
+    copy[i] ^= 1;
+    EXPECT_NE(mac64(k, copy), ref) << "byte " << i;
+  }
+}
+
+TEST(Mac64, LengthExtensionChangesMac) {
+  Key k{3, 4};
+  // Careful with embedded NULs: build the longer inputs explicitly.
+  Bytes ab = to_bytes("ab");
+  Bytes ab0 = ab;
+  ab0.push_back(0);
+  EXPECT_NE(mac64(k, ab), mac64(k, ab0));
+  EXPECT_NE(mac64(k, Bytes{}), mac64(k, Bytes{0}));
+}
+
+TEST(Mac64, NoEasyCollisions) {
+  Key k{11, 13};
+  std::set<std::uint64_t> macs;
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    Bytes m(16, 0);
+    for (auto& b : m) b = static_cast<std::uint8_t>(rng.next_u64());
+    macs.insert(mac64(k, m));
+  }
+  EXPECT_EQ(macs.size(), 2000u);  // all distinct
+}
+
+TEST(StreamCipher, RoundTrip) {
+  Key k{42, 43};
+  Bytes plain = to_bytes("the secret group state");
+  Bytes ct = stream_xor(k, 7, plain);
+  EXPECT_NE(ct, plain);
+  EXPECT_EQ(stream_xor(k, 7, ct), plain);
+}
+
+TEST(StreamCipher, NonceMatters) {
+  Key k{42, 43};
+  Bytes plain(64, 0xaa);
+  EXPECT_NE(stream_xor(k, 1, plain), stream_xor(k, 2, plain));
+}
+
+TEST(StreamCipher, KeyMatters) {
+  Bytes plain(64, 0xaa);
+  EXPECT_NE(stream_xor(Key{1, 1}, 7, plain), stream_xor(Key{1, 2}, 7, plain));
+}
+
+TEST(StreamCipher, WrongNonceGarbles) {
+  Key k{5, 6};
+  Bytes plain = to_bytes("payload");
+  Bytes ct = stream_xor(k, 10, plain);
+  EXPECT_NE(stream_xor(k, 11, ct), plain);
+}
+
+TEST(StreamCipher, AllLengths) {
+  Key k{9, 9};
+  for (std::size_t len = 0; len < 40; ++len) {
+    Bytes plain(len, 0x3c);
+    EXPECT_EQ(stream_xor(k, len, stream_xor(k, len, plain)), plain) << len;
+  }
+}
+
+}  // namespace
+}  // namespace horus

@@ -1,0 +1,147 @@
+#include "horus/util/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "horus/util/rng.hpp"
+
+namespace horus {
+namespace {
+
+TEST(Serialize, FixedWidthRoundTrip) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0xbeef);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.boolean(true);
+  w.boolean(false);
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Serialize, LittleEndianLayout) {
+  Writer w;
+  w.u32(0x01020304);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.data()[0], 0x04);
+  EXPECT_EQ(w.data()[3], 0x01);
+}
+
+TEST(Serialize, VarintBoundaries) {
+  for (std::uint64_t v : std::initializer_list<std::uint64_t>{
+           0, 1, 127, 128, 16383, 16384, UINT64_MAX - 1, UINT64_MAX}) {
+    Writer w;
+    w.varint(v);
+    Reader r(w.data());
+    EXPECT_EQ(r.varint(), v) << v;
+  }
+}
+
+TEST(Serialize, VarintSizes) {
+  auto size_of = [](std::uint64_t v) {
+    Writer w;
+    w.varint(v);
+    return w.size();
+  };
+  EXPECT_EQ(size_of(0), 1u);
+  EXPECT_EQ(size_of(127), 1u);
+  EXPECT_EQ(size_of(128), 2u);
+  EXPECT_EQ(size_of(UINT64_MAX), 10u);
+}
+
+TEST(Serialize, BytesAndStrings) {
+  Writer w;
+  w.bytes(to_bytes("hello"));
+  w.str("world");
+  w.bytes({});  // empty
+  Reader r(w.data());
+  EXPECT_EQ(to_string(r.bytes_view()), "hello");
+  EXPECT_EQ(r.str(), "world");
+  EXPECT_TRUE(r.bytes().empty());
+}
+
+TEST(Serialize, ReaderUnderflowThrows) {
+  Writer w;
+  w.u16(7);
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_THROW(r.u32(), DecodeError);
+}
+
+TEST(Serialize, TruncatedVarintThrows) {
+  Bytes b = {0x80, 0x80};  // continuation bits with no terminator
+  Reader r(b);
+  EXPECT_THROW(r.varint(), DecodeError);
+}
+
+TEST(Serialize, OverlongVarintThrows) {
+  Bytes b(11, 0x80);  // would shift past 64 bits
+  Reader r(b);
+  EXPECT_THROW(r.varint(), DecodeError);
+}
+
+TEST(Serialize, TruncatedBytesThrows) {
+  Writer w;
+  w.varint(100);  // claims 100 bytes follow
+  w.raw(to_bytes("short"));
+  Reader r(w.data());
+  EXPECT_THROW(r.bytes(), DecodeError);
+}
+
+TEST(Serialize, SkipAndRest) {
+  Writer w;
+  w.u32(1);
+  w.u32(2);
+  Reader r(w.data());
+  r.skip(4);
+  EXPECT_EQ(r.position(), 4u);
+  EXPECT_EQ(r.rest().size(), 4u);
+  EXPECT_EQ(r.u32(), 2u);
+  EXPECT_THROW(r.skip(1), DecodeError);
+}
+
+TEST(Serialize, FuzzRoundTrip) {
+  // Random sequences of typed values must round-trip exactly.
+  Rng rng(99);
+  for (int iter = 0; iter < 200; ++iter) {
+    Writer w;
+    std::vector<std::pair<int, std::uint64_t>> script;
+    for (int i = 0; i < 20; ++i) {
+      int kind = static_cast<int>(rng.next_below(5));
+      std::uint64_t v = rng.next_u64();
+      script.emplace_back(kind, v);
+      switch (kind) {
+        case 0: w.u8(static_cast<std::uint8_t>(v)); break;
+        case 1: w.u16(static_cast<std::uint16_t>(v)); break;
+        case 2: w.u32(static_cast<std::uint32_t>(v)); break;
+        case 3: w.u64(v); break;
+        case 4: w.varint(v); break;
+      }
+    }
+    Reader r(w.data());
+    for (auto [kind, v] : script) {
+      switch (kind) {
+        case 0: EXPECT_EQ(r.u8(), static_cast<std::uint8_t>(v)); break;
+        case 1: EXPECT_EQ(r.u16(), static_cast<std::uint16_t>(v)); break;
+        case 2: EXPECT_EQ(r.u32(), static_cast<std::uint32_t>(v)); break;
+        case 3: EXPECT_EQ(r.u64(), v); break;
+        case 4: EXPECT_EQ(r.varint(), v); break;
+      }
+    }
+    EXPECT_EQ(r.remaining(), 0u);
+  }
+}
+
+TEST(Serialize, HexDump) {
+  EXPECT_EQ(hex(to_bytes("\x01\xab")), "01ab");
+  EXPECT_EQ(hex({}), "");
+}
+
+}  // namespace
+}  // namespace horus
