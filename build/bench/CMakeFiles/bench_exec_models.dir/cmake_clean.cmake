@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exec_models.dir/bench_exec_models.cpp.o"
+  "CMakeFiles/bench_exec_models.dir/bench_exec_models.cpp.o.d"
+  "bench_exec_models"
+  "bench_exec_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exec_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_flush.dir/bench_fig2_flush.cpp.o"
+  "CMakeFiles/bench_fig2_flush.dir/bench_fig2_flush.cpp.o.d"
+  "bench_fig2_flush"
+  "bench_fig2_flush.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_flush.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

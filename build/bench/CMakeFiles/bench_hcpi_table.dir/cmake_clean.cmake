@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hcpi_table.dir/bench_hcpi_table.cpp.o"
+  "CMakeFiles/bench_hcpi_table.dir/bench_hcpi_table.cpp.o.d"
+  "bench_hcpi_table"
+  "bench_hcpi_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hcpi_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

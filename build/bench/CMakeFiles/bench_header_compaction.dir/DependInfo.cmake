@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_header_compaction.cpp" "bench/CMakeFiles/bench_header_compaction.dir/bench_header_compaction.cpp.o" "gcc" "bench/CMakeFiles/bench_header_compaction.dir/bench_header_compaction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/horus_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/horus_layers.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/horus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/horus_properties.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/horus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/horus_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/horus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

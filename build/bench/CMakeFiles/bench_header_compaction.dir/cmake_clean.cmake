@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_header_compaction.dir/bench_header_compaction.cpp.o"
+  "CMakeFiles/bench_header_compaction.dir/bench_header_compaction.cpp.o.d"
+  "bench_header_compaction"
+  "bench_header_compaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_header_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_layer_overhead.dir/bench_layer_overhead.cpp.o"
+  "CMakeFiles/bench_layer_overhead.dir/bench_layer_overhead.cpp.o.d"
+  "bench_layer_overhead"
+  "bench_layer_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_layer_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_layer_skipping.dir/bench_layer_skipping.cpp.o"
+  "CMakeFiles/bench_layer_skipping.dir/bench_layer_skipping.cpp.o.d"
+  "bench_layer_skipping"
+  "bench_layer_skipping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_layer_skipping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

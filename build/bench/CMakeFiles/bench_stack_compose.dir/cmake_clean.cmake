@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stack_compose.dir/bench_stack_compose.cpp.o"
+  "CMakeFiles/bench_stack_compose.dir/bench_stack_compose.cpp.o.d"
+  "bench_stack_compose"
+  "bench_stack_compose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stack_compose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

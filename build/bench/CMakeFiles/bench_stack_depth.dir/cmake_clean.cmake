@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stack_depth.dir/bench_stack_depth.cpp.o"
+  "CMakeFiles/bench_stack_depth.dir/bench_stack_depth.cpp.o.d"
+  "bench_stack_depth"
+  "bench_stack_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stack_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_matrix.dir/bench_table3_matrix.cpp.o"
+  "CMakeFiles/bench_table3_matrix.dir/bench_table3_matrix.cpp.o.d"
+  "bench_table3_matrix"
+  "bench_table3_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

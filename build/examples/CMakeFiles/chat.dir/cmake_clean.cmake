@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chat.dir/chat.cpp.o"
+  "CMakeFiles/chat.dir/chat.cpp.o.d"
+  "chat"
+  "chat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isis_tools.dir/isis_tools.cpp.o"
+  "CMakeFiles/isis_tools.dir/isis_tools.cpp.o.d"
+  "isis_tools"
+  "isis_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isis_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

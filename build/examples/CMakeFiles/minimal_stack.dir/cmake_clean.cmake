@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minimal_stack.dir/minimal_stack.cpp.o"
+  "CMakeFiles/minimal_stack.dir/minimal_stack.cpp.o.d"
+  "minimal_stack"
+  "minimal_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minimal_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

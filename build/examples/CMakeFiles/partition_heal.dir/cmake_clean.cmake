@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_heal.dir/partition_heal.cpp.o"
+  "CMakeFiles/partition_heal.dir/partition_heal.cpp.o.d"
+  "partition_heal"
+  "partition_heal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_heal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sockets_facade.dir/sockets_facade.cpp.o"
+  "CMakeFiles/sockets_facade.dir/sockets_facade.cpp.o.d"
+  "sockets_facade"
+  "sockets_facade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sockets_facade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

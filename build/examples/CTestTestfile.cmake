@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;12;add_test;/root/repo/examples/CMakeLists.txt;15;horus_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_chat "/root/repo/build/examples/chat")
+set_tests_properties(example_chat PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;12;add_test;/root/repo/examples/CMakeLists.txt;16;horus_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_replicated_kv "/root/repo/build/examples/replicated_kv")
+set_tests_properties(example_replicated_kv PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;12;add_test;/root/repo/examples/CMakeLists.txt;17;horus_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_partition_heal "/root/repo/build/examples/partition_heal")
+set_tests_properties(example_partition_heal PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;12;add_test;/root/repo/examples/CMakeLists.txt;18;horus_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sockets_facade "/root/repo/build/examples/sockets_facade")
+set_tests_properties(example_sockets_facade PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;12;add_test;/root/repo/examples/CMakeLists.txt;19;horus_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_minimal_stack "/root/repo/build/examples/minimal_stack")
+set_tests_properties(example_minimal_stack PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;12;add_test;/root/repo/examples/CMakeLists.txt;20;horus_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_isis_tools "/root/repo/build/examples/isis_tools")
+set_tests_properties(example_isis_tools PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;12;add_test;/root/repo/examples/CMakeLists.txt;21;horus_example;/root/repo/examples/CMakeLists.txt;0;")

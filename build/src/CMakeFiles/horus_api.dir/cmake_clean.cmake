@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horus_api.dir/horus/api/hsocket.cpp.o"
+  "CMakeFiles/horus_api.dir/horus/api/hsocket.cpp.o.d"
+  "CMakeFiles/horus_api.dir/horus/api/system.cpp.o"
+  "CMakeFiles/horus_api.dir/horus/api/system.cpp.o.d"
+  "libhorus_api.a"
+  "libhorus_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horus_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/horus/core/endpoint.cpp" "src/CMakeFiles/horus_core.dir/horus/core/endpoint.cpp.o" "gcc" "src/CMakeFiles/horus_core.dir/horus/core/endpoint.cpp.o.d"
+  "/root/repo/src/horus/core/events.cpp" "src/CMakeFiles/horus_core.dir/horus/core/events.cpp.o" "gcc" "src/CMakeFiles/horus_core.dir/horus/core/events.cpp.o.d"
+  "/root/repo/src/horus/core/layer.cpp" "src/CMakeFiles/horus_core.dir/horus/core/layer.cpp.o" "gcc" "src/CMakeFiles/horus_core.dir/horus/core/layer.cpp.o.d"
+  "/root/repo/src/horus/core/message.cpp" "src/CMakeFiles/horus_core.dir/horus/core/message.cpp.o" "gcc" "src/CMakeFiles/horus_core.dir/horus/core/message.cpp.o.d"
+  "/root/repo/src/horus/core/stack.cpp" "src/CMakeFiles/horus_core.dir/horus/core/stack.cpp.o" "gcc" "src/CMakeFiles/horus_core.dir/horus/core/stack.cpp.o.d"
+  "/root/repo/src/horus/core/view.cpp" "src/CMakeFiles/horus_core.dir/horus/core/view.cpp.o" "gcc" "src/CMakeFiles/horus_core.dir/horus/core/view.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/horus_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/horus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/horus_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/horus_properties.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horus_core.dir/horus/core/endpoint.cpp.o"
+  "CMakeFiles/horus_core.dir/horus/core/endpoint.cpp.o.d"
+  "CMakeFiles/horus_core.dir/horus/core/events.cpp.o"
+  "CMakeFiles/horus_core.dir/horus/core/events.cpp.o.d"
+  "CMakeFiles/horus_core.dir/horus/core/layer.cpp.o"
+  "CMakeFiles/horus_core.dir/horus/core/layer.cpp.o.d"
+  "CMakeFiles/horus_core.dir/horus/core/message.cpp.o"
+  "CMakeFiles/horus_core.dir/horus/core/message.cpp.o.d"
+  "CMakeFiles/horus_core.dir/horus/core/stack.cpp.o"
+  "CMakeFiles/horus_core.dir/horus/core/stack.cpp.o.d"
+  "CMakeFiles/horus_core.dir/horus/core/view.cpp.o"
+  "CMakeFiles/horus_core.dir/horus/core/view.cpp.o.d"
+  "libhorus_core.a"
+  "libhorus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

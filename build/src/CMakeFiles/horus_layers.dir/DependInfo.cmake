@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/horus/layers/bms.cpp" "src/CMakeFiles/horus_layers.dir/horus/layers/bms.cpp.o" "gcc" "src/CMakeFiles/horus_layers.dir/horus/layers/bms.cpp.o.d"
+  "/root/repo/src/horus/layers/causal.cpp" "src/CMakeFiles/horus_layers.dir/horus/layers/causal.cpp.o" "gcc" "src/CMakeFiles/horus_layers.dir/horus/layers/causal.cpp.o.d"
+  "/root/repo/src/horus/layers/chksum.cpp" "src/CMakeFiles/horus_layers.dir/horus/layers/chksum.cpp.o" "gcc" "src/CMakeFiles/horus_layers.dir/horus/layers/chksum.cpp.o.d"
+  "/root/repo/src/horus/layers/com.cpp" "src/CMakeFiles/horus_layers.dir/horus/layers/com.cpp.o" "gcc" "src/CMakeFiles/horus_layers.dir/horus/layers/com.cpp.o.d"
+  "/root/repo/src/horus/layers/compress.cpp" "src/CMakeFiles/horus_layers.dir/horus/layers/compress.cpp.o" "gcc" "src/CMakeFiles/horus_layers.dir/horus/layers/compress.cpp.o.d"
+  "/root/repo/src/horus/layers/encrypt.cpp" "src/CMakeFiles/horus_layers.dir/horus/layers/encrypt.cpp.o" "gcc" "src/CMakeFiles/horus_layers.dir/horus/layers/encrypt.cpp.o.d"
+  "/root/repo/src/horus/layers/frag.cpp" "src/CMakeFiles/horus_layers.dir/horus/layers/frag.cpp.o" "gcc" "src/CMakeFiles/horus_layers.dir/horus/layers/frag.cpp.o.d"
+  "/root/repo/src/horus/layers/fused.cpp" "src/CMakeFiles/horus_layers.dir/horus/layers/fused.cpp.o" "gcc" "src/CMakeFiles/horus_layers.dir/horus/layers/fused.cpp.o.d"
+  "/root/repo/src/horus/layers/mbrship.cpp" "src/CMakeFiles/horus_layers.dir/horus/layers/mbrship.cpp.o" "gcc" "src/CMakeFiles/horus_layers.dir/horus/layers/mbrship.cpp.o.d"
+  "/root/repo/src/horus/layers/merge.cpp" "src/CMakeFiles/horus_layers.dir/horus/layers/merge.cpp.o" "gcc" "src/CMakeFiles/horus_layers.dir/horus/layers/merge.cpp.o.d"
+  "/root/repo/src/horus/layers/nak.cpp" "src/CMakeFiles/horus_layers.dir/horus/layers/nak.cpp.o" "gcc" "src/CMakeFiles/horus_layers.dir/horus/layers/nak.cpp.o.d"
+  "/root/repo/src/horus/layers/nfrag.cpp" "src/CMakeFiles/horus_layers.dir/horus/layers/nfrag.cpp.o" "gcc" "src/CMakeFiles/horus_layers.dir/horus/layers/nfrag.cpp.o.d"
+  "/root/repo/src/horus/layers/nnak.cpp" "src/CMakeFiles/horus_layers.dir/horus/layers/nnak.cpp.o" "gcc" "src/CMakeFiles/horus_layers.dir/horus/layers/nnak.cpp.o.d"
+  "/root/repo/src/horus/layers/observe.cpp" "src/CMakeFiles/horus_layers.dir/horus/layers/observe.cpp.o" "gcc" "src/CMakeFiles/horus_layers.dir/horus/layers/observe.cpp.o.d"
+  "/root/repo/src/horus/layers/pinwheel.cpp" "src/CMakeFiles/horus_layers.dir/horus/layers/pinwheel.cpp.o" "gcc" "src/CMakeFiles/horus_layers.dir/horus/layers/pinwheel.cpp.o.d"
+  "/root/repo/src/horus/layers/registry.cpp" "src/CMakeFiles/horus_layers.dir/horus/layers/registry.cpp.o" "gcc" "src/CMakeFiles/horus_layers.dir/horus/layers/registry.cpp.o.d"
+  "/root/repo/src/horus/layers/safe.cpp" "src/CMakeFiles/horus_layers.dir/horus/layers/safe.cpp.o" "gcc" "src/CMakeFiles/horus_layers.dir/horus/layers/safe.cpp.o.d"
+  "/root/repo/src/horus/layers/sign.cpp" "src/CMakeFiles/horus_layers.dir/horus/layers/sign.cpp.o" "gcc" "src/CMakeFiles/horus_layers.dir/horus/layers/sign.cpp.o.d"
+  "/root/repo/src/horus/layers/stable.cpp" "src/CMakeFiles/horus_layers.dir/horus/layers/stable.cpp.o" "gcc" "src/CMakeFiles/horus_layers.dir/horus/layers/stable.cpp.o.d"
+  "/root/repo/src/horus/layers/total.cpp" "src/CMakeFiles/horus_layers.dir/horus/layers/total.cpp.o" "gcc" "src/CMakeFiles/horus_layers.dir/horus/layers/total.cpp.o.d"
+  "/root/repo/src/horus/layers/vss.cpp" "src/CMakeFiles/horus_layers.dir/horus/layers/vss.cpp.o" "gcc" "src/CMakeFiles/horus_layers.dir/horus/layers/vss.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/horus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/horus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/horus_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/horus_properties.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/horus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

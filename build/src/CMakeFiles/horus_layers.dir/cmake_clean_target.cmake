@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhorus_layers.a"
+)

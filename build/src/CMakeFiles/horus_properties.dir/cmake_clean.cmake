@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horus_properties.dir/horus/properties/algebra.cpp.o"
+  "CMakeFiles/horus_properties.dir/horus/properties/algebra.cpp.o.d"
+  "CMakeFiles/horus_properties.dir/horus/properties/property.cpp.o"
+  "CMakeFiles/horus_properties.dir/horus/properties/property.cpp.o.d"
+  "libhorus_properties.a"
+  "libhorus_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horus_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horus_runtime.dir/horus/runtime/executor.cpp.o"
+  "CMakeFiles/horus_runtime.dir/horus/runtime/executor.cpp.o.d"
+  "libhorus_runtime.a"
+  "libhorus_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horus_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

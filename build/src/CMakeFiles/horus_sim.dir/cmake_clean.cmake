@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horus_sim.dir/horus/sim/network.cpp.o"
+  "CMakeFiles/horus_sim.dir/horus/sim/network.cpp.o.d"
+  "CMakeFiles/horus_sim.dir/horus/sim/scheduler.cpp.o"
+  "CMakeFiles/horus_sim.dir/horus/sim/scheduler.cpp.o.d"
+  "libhorus_sim.a"
+  "libhorus_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horus_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horus_tools.dir/horus/tools/guaranteed_exec.cpp.o"
+  "CMakeFiles/horus_tools.dir/horus/tools/guaranteed_exec.cpp.o.d"
+  "CMakeFiles/horus_tools.dir/horus/tools/lock_manager.cpp.o"
+  "CMakeFiles/horus_tools.dir/horus/tools/lock_manager.cpp.o.d"
+  "CMakeFiles/horus_tools.dir/horus/tools/primary_backup.cpp.o"
+  "CMakeFiles/horus_tools.dir/horus/tools/primary_backup.cpp.o.d"
+  "CMakeFiles/horus_tools.dir/horus/tools/replicated_map.cpp.o"
+  "CMakeFiles/horus_tools.dir/horus/tools/replicated_map.cpp.o.d"
+  "libhorus_tools.a"
+  "libhorus_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horus_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/horus/util/bitfield.cpp" "src/CMakeFiles/horus_util.dir/horus/util/bitfield.cpp.o" "gcc" "src/CMakeFiles/horus_util.dir/horus/util/bitfield.cpp.o.d"
+  "/root/repo/src/horus/util/compress.cpp" "src/CMakeFiles/horus_util.dir/horus/util/compress.cpp.o" "gcc" "src/CMakeFiles/horus_util.dir/horus/util/compress.cpp.o.d"
+  "/root/repo/src/horus/util/crc32.cpp" "src/CMakeFiles/horus_util.dir/horus/util/crc32.cpp.o" "gcc" "src/CMakeFiles/horus_util.dir/horus/util/crc32.cpp.o.d"
+  "/root/repo/src/horus/util/crypto.cpp" "src/CMakeFiles/horus_util.dir/horus/util/crypto.cpp.o" "gcc" "src/CMakeFiles/horus_util.dir/horus/util/crypto.cpp.o.d"
+  "/root/repo/src/horus/util/log.cpp" "src/CMakeFiles/horus_util.dir/horus/util/log.cpp.o" "gcc" "src/CMakeFiles/horus_util.dir/horus/util/log.cpp.o.d"
+  "/root/repo/src/horus/util/serialize.cpp" "src/CMakeFiles/horus_util.dir/horus/util/serialize.cpp.o" "gcc" "src/CMakeFiles/horus_util.dir/horus/util/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horus_util.dir/horus/util/bitfield.cpp.o"
+  "CMakeFiles/horus_util.dir/horus/util/bitfield.cpp.o.d"
+  "CMakeFiles/horus_util.dir/horus/util/compress.cpp.o"
+  "CMakeFiles/horus_util.dir/horus/util/compress.cpp.o.d"
+  "CMakeFiles/horus_util.dir/horus/util/crc32.cpp.o"
+  "CMakeFiles/horus_util.dir/horus/util/crc32.cpp.o.d"
+  "CMakeFiles/horus_util.dir/horus/util/crypto.cpp.o"
+  "CMakeFiles/horus_util.dir/horus/util/crypto.cpp.o.d"
+  "CMakeFiles/horus_util.dir/horus/util/log.cpp.o"
+  "CMakeFiles/horus_util.dir/horus/util/log.cpp.o.d"
+  "CMakeFiles/horus_util.dir/horus/util/serialize.cpp.o"
+  "CMakeFiles/horus_util.dir/horus/util/serialize.cpp.o.d"
+  "libhorus_util.a"
+  "libhorus_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horus_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

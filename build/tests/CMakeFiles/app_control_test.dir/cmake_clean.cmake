@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_control_test.dir/layers/app_control_test.cpp.o"
+  "CMakeFiles/app_control_test.dir/layers/app_control_test.cpp.o.d"
+  "app_control_test"
+  "app_control_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_control_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

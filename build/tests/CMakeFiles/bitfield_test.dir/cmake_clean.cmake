@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitfield_test.dir/util/bitfield_test.cpp.o"
+  "CMakeFiles/bitfield_test.dir/util/bitfield_test.cpp.o.d"
+  "bitfield_test"
+  "bitfield_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitfield_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bms_vss_test.dir/layers/bms_vss_test.cpp.o"
+  "CMakeFiles/bms_vss_test.dir/layers/bms_vss_test.cpp.o.d"
+  "bms_vss_test"
+  "bms_vss_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bms_vss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cactus_test.dir/core/cactus_test.cpp.o"
+  "CMakeFiles/cactus_test.dir/core/cactus_test.cpp.o.d"
+  "cactus_test"
+  "cactus_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cactus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

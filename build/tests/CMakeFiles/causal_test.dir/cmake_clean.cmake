@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causal_test.dir/layers/causal_test.cpp.o"
+  "CMakeFiles/causal_test.dir/layers/causal_test.cpp.o.d"
+  "causal_test"
+  "causal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/churn_test.dir/integration/churn_test.cpp.o"
+  "CMakeFiles/churn_test.dir/integration/churn_test.cpp.o.d"
+  "churn_test"
+  "churn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/churn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

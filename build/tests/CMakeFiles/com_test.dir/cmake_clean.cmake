@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/com_test.dir/layers/com_test.cpp.o"
+  "CMakeFiles/com_test.dir/layers/com_test.cpp.o.d"
+  "com_test"
+  "com_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/com_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

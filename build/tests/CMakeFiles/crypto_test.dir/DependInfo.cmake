@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/crypto_test.cpp" "tests/CMakeFiles/crypto_test.dir/util/crypto_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/util/crypto_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/horus_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/horus_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/horus_layers.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/horus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/horus_properties.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/horus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/horus_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/horus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

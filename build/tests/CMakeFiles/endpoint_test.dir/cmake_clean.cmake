@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/endpoint_test.dir/core/endpoint_test.cpp.o"
+  "CMakeFiles/endpoint_test.dir/core/endpoint_test.cpp.o.d"
+  "endpoint_test"
+  "endpoint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/endpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

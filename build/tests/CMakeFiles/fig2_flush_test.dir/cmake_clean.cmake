@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_flush_test.dir/integration/fig2_flush_test.cpp.o"
+  "CMakeFiles/fig2_flush_test.dir/integration/fig2_flush_test.cpp.o.d"
+  "fig2_flush_test"
+  "fig2_flush_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_flush_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

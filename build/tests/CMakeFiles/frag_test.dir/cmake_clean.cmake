@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frag_test.dir/layers/frag_test.cpp.o"
+  "CMakeFiles/frag_test.dir/layers/frag_test.cpp.o.d"
+  "frag_test"
+  "frag_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frag_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

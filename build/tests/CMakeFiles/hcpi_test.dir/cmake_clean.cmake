@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcpi_test.dir/core/hcpi_test.cpp.o"
+  "CMakeFiles/hcpi_test.dir/core/hcpi_test.cpp.o.d"
+  "hcpi_test"
+  "hcpi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcpi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsocket_test.dir/integration/hsocket_test.cpp.o"
+  "CMakeFiles/hsocket_test.dir/integration/hsocket_test.cpp.o.d"
+  "hsocket_test"
+  "hsocket_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsocket_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbrship_test.dir/layers/mbrship_test.cpp.o"
+  "CMakeFiles/mbrship_test.dir/layers/mbrship_test.cpp.o.d"
+  "mbrship_test"
+  "mbrship_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbrship_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merge_test.dir/layers/merge_test.cpp.o"
+  "CMakeFiles/merge_test.dir/layers/merge_test.cpp.o.d"
+  "merge_test"
+  "merge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nak_test.dir/layers/nak_test.cpp.o"
+  "CMakeFiles/nak_test.dir/layers/nak_test.cpp.o.d"
+  "nak_test"
+  "nak_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nak_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

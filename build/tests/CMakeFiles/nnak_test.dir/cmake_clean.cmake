@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nnak_test.dir/layers/nnak_test.cpp.o"
+  "CMakeFiles/nnak_test.dir/layers/nnak_test.cpp.o.d"
+  "nnak_test"
+  "nnak_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nnak_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

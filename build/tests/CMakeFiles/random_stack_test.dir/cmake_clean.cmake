@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_stack_test.dir/integration/random_stack_test.cpp.o"
+  "CMakeFiles/random_stack_test.dir/integration/random_stack_test.cpp.o.d"
+  "random_stack_test"
+  "random_stack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_stack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realtime_test.dir/sim/realtime_test.cpp.o"
+  "CMakeFiles/realtime_test.dir/sim/realtime_test.cpp.o.d"
+  "realtime_test"
+  "realtime_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regression_test.dir/layers/regression_test.cpp.o"
+  "CMakeFiles/regression_test.dir/layers/regression_test.cpp.o.d"
+  "regression_test"
+  "regression_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stability_test.dir/layers/stability_test.cpp.o"
+  "CMakeFiles/stability_test.dir/layers/stability_test.cpp.o.d"
+  "stability_test"
+  "stability_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stack_test.dir/core/stack_test.cpp.o"
+  "CMakeFiles/stack_test.dir/core/stack_test.cpp.o.d"
+  "stack_test"
+  "stack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/total_test.dir/layers/total_test.cpp.o"
+  "CMakeFiles/total_test.dir/layers/total_test.cpp.o.d"
+  "total_test"
+  "total_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/total_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transform_test.dir/layers/transform_test.cpp.o"
+  "CMakeFiles/transform_test.dir/layers/transform_test.cpp.o.d"
+  "transform_test"
+  "transform_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_synchrony_test.dir/integration/virtual_synchrony_test.cpp.o"
+  "CMakeFiles/virtual_synchrony_test.dir/integration/virtual_synchrony_test.cpp.o.d"
+  "virtual_synchrony_test"
+  "virtual_synchrony_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_synchrony_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
