@@ -49,7 +49,9 @@ void BM_RawNetwork(benchmark::State& state) {
   sim::SimNetwork net(sched);
   net.set_default_params(Rig::fast_net().net);
   std::uint64_t delivered = 0;
-  net.attach(2, [&](sim::NodeId, ByteSpan) { ++delivered; });
+  net.attach(2, [&](sim::NodeId, const std::shared_ptr<const Bytes>&) {
+    ++delivered;
+  });
   Bytes payload(100, 0x61);
   for (auto _ : state) {
     net.send(1, 2, payload);

@@ -1,6 +1,7 @@
 #include "horus/core/message.hpp"
 
 #include <cassert>
+#include <cstring>
 #include <stdexcept>
 
 namespace horus {
@@ -27,9 +28,8 @@ Message Message::from_wire(std::shared_ptr<const Bytes> datagram,
   if (offset > end || end - offset < region_bytes) {
     throw DecodeError("datagram shorter than header region");
   }
-  m.region_.assign(
-      datagram->begin() + static_cast<std::ptrdiff_t>(offset),
-      datagram->begin() + static_cast<std::ptrdiff_t>(offset + region_bytes));
+  m.rx_region_off_ = offset;
+  m.rx_region_len_ = region_bytes;
   m.rx_cursor_ = offset + region_bytes;
   m.rx_end_ = end;
   m.rx_buf_ = std::move(datagram);
@@ -50,19 +50,191 @@ Message Message::from_parts(Bytes region, Bytes rest) {
   return m;
 }
 
+// -- linear tx --------------------------------------------------------------
+
+Message Message::make_linear(WireBufRef wb, std::size_t region_cap,
+                             std::size_t tailroom, ByteSpan payload) {
+  assert(wb && region_cap + tailroom + payload.size() <= wb->capacity());
+  Message m;
+  std::size_t off = wb->capacity() - tailroom - payload.size();
+  if (!payload.empty()) {
+    std::memcpy(wb->data() + off, payload.data(), payload.size());
+  }
+  msg_path_stats().bytes_copied.fetch_add(payload.size(),
+                                          std::memory_order_relaxed);
+  m.wb_ = std::move(wb);
+  m.region_cap_ = region_cap;
+  m.head_ = off;
+  m.pay_off_ = off;
+  m.pay_len_ = payload.size();
+  return m;
+}
+
+bool Message::linearize(WireBufRef wb, std::size_t region_cap,
+                        std::size_t tailroom) {
+  if (rx() || linear() || !wb || region_.size() > region_cap) return false;
+  std::size_t psz = payload_size();
+  std::size_t bsz = pending_block_bytes();
+  std::size_t cap = wb->capacity();
+  if (region_cap + tailroom + psz + bsz > cap) return false;
+  std::size_t off = cap - tailroom - psz;
+  std::uint8_t* base = wb->data();
+  std::size_t at = off;
+  for (const auto& c : chunks_) {
+    std::memcpy(base + at, c.buf->data() + c.off, c.len);
+    at += c.len;
+  }
+  // Blocks already pushed (messages built mid-stack) move into the
+  // headroom, innermost nearest the payload, preserving wire order.
+  at = off;
+  for (const auto& b : blocks_) {
+    at -= b.size();
+    std::memcpy(base + at, b.data(), b.size());
+  }
+  std::memcpy(base, region_.data(), region_.size());
+  msg_path_stats().bytes_copied.fetch_add(psz + bsz + region_.size(),
+                                          std::memory_order_relaxed);
+  wb_ = std::move(wb);
+  region_cap_ = region_cap;
+  region_len_ = region_.size();
+  head_ = at;
+  pay_off_ = off;
+  pay_len_ = psz;
+  blocks_.clear();
+  chunks_.clear();
+  region_.clear();
+  return true;
+}
+
+void Message::unshare(std::size_t extra_headroom) {
+  std::size_t used = pay_off_ + pay_len_ - head_;
+  std::size_t old_headroom = head_ - region_cap_;
+  std::size_t headroom = std::max(old_headroom, extra_headroom + 16);
+  std::size_t tail = wb_->capacity() - (pay_off_ + pay_len_);
+  WireBufRef fresh =
+      WireBufRef::make_unpooled(region_cap_ + headroom + used + tail);
+  std::uint8_t* dst = fresh->data();
+  std::memcpy(dst, wb_->data(), region_len_);
+  std::memcpy(dst + region_cap_ + headroom, wb_->data() + head_, used);
+  msg_path_stats().unshare_copies.fetch_add(1, std::memory_order_relaxed);
+  msg_path_stats().bytes_copied.fetch_add(region_len_ + used,
+                                          std::memory_order_relaxed);
+  head_ = region_cap_ + headroom;
+  pay_off_ = head_ + (used - pay_len_);
+  wb_ = std::move(fresh);
+}
+
+void Message::grow_headroom(std::size_t need) {
+  std::size_t used = pay_off_ + pay_len_ - head_;
+  std::size_t tail = wb_->capacity() - (pay_off_ + pay_len_);
+  std::size_t headroom = (head_ - region_cap_) + std::max(need + 64, wb_->capacity());
+  WireBufRef fresh =
+      WireBufRef::make_unpooled(region_cap_ + headroom + used + tail);
+  std::uint8_t* dst = fresh->data();
+  std::memcpy(dst, wb_->data(), region_len_);
+  std::memcpy(dst + region_cap_ + headroom, wb_->data() + head_, used);
+  msg_path_stats().headroom_growths.fetch_add(1, std::memory_order_relaxed);
+  msg_path_stats().bytes_copied.fetch_add(region_len_ + used,
+                                          std::memory_order_relaxed);
+  head_ = region_cap_ + headroom;
+  pay_off_ = head_ + (used - pay_len_);
+  wb_ = std::move(fresh);
+}
+
+void Message::delinearize() {
+  assert(linear());
+  Bytes region(wb_->data(), wb_->data() + region_len_);
+  // [head_, pay_off_) already holds every pushed header in wire order
+  // (outermost first); keeping it as the single innermost legacy block
+  // preserves that order under further pushes.
+  blocks_.clear();
+  if (pay_off_ > head_) {
+    blocks_.emplace_back(wb_->data() + head_, wb_->data() + pay_off_);
+  }
+  chunks_.clear();
+  if (pay_len_ > 0) {
+    chunks_.push_back(Chunk{share_buffer(), pay_off_, pay_len_});
+  }
+  region_ = std::move(region);
+  wb_.reset();
+  region_cap_ = region_len_ = head_ = pay_off_ = pay_len_ = 0;
+}
+
+std::shared_ptr<const Bytes> Message::share_buffer() const {
+  // Aliasing shared_ptr: owns a WireBufRef (keeping the buffer alive and,
+  // importantly, marking it shared for copy-on-write), points at the
+  // storage vector.
+  auto keep = std::make_shared<WireBufRef>(wb_);
+  const Bytes* storage = &(*keep)->storage();
+  return std::shared_ptr<const Bytes>(std::move(keep), storage);
+}
+
+MutByteSpan Message::prepend(std::size_t n) {
+  assert(!rx() && "prepend on a received message");
+  if (!linear() || n == 0) return {};
+  if (!wb_.unique()) unshare(n);
+  if (head_ - region_cap_ < n) grow_headroom(n);
+  head_ -= n;
+  return MutByteSpan(wb_->data() + head_, n);
+}
+
 void Message::push_block(ByteSpan block) {
   assert(!rx() && "push_block on a received message");
+  if (linear()) {
+    if (block.empty()) return;  // no wire effect; stay linear
+    MutByteSpan dst = prepend(block.size());
+    std::memcpy(dst.data(), block.data(), block.size());
+    msg_path_stats().bytes_copied.fetch_add(block.size(),
+                                            std::memory_order_relaxed);
+    return;
+  }
   blocks_.emplace_back(block.begin(), block.end());
 }
 
 MutByteSpan Message::region_mut(std::size_t bytes) {
   assert(!rx() && "region_mut on a received message");
+  if (linear()) {
+    if (bytes > region_cap_) {
+      delinearize();  // staging undersized (never happens for stack-built
+                      // messages: region_cap is the layout size)
+    } else {
+      if (!wb_.unique()) unshare(0);
+      if (region_len_ < bytes) {
+        std::memset(wb_->data() + region_len_, 0, bytes - region_len_);
+        region_len_ = bytes;
+      }
+      return MutByteSpan(wb_->data(), region_len_);
+    }
+  }
   if (region_.size() < bytes) region_.resize(bytes, 0);
   return MutByteSpan(region_);
 }
 
+ByteSpan Message::region() const {
+  if (linear()) return ByteSpan(wb_->data(), region_len_);
+  if (rx_buf_ != nullptr && rx_region_len_ > 0) {
+    return ByteSpan(rx_buf_->data() + rx_region_off_, rx_region_len_);
+  }
+  return ByteSpan(region_);
+}
+
+Bytes Message::region_copy() const {
+  ByteSpan r = region();
+  return Bytes(r.begin(), r.end());
+}
+
 Bytes Message::to_wire(std::size_t region_bytes) const {
   assert(!rx() && "to_wire on a received message");
+  if (linear()) {
+    Bytes out;
+    std::size_t hdrs = pay_off_ - head_;
+    out.reserve(region_bytes + hdrs + pay_len_);
+    const std::uint8_t* base = wb_->data();
+    out.insert(out.end(), base, base + std::min(region_len_, region_bytes));
+    if (out.size() < region_bytes) out.resize(region_bytes, 0);
+    out.insert(out.end(), base + head_, base + pay_off_ + pay_len_);
+    return out;
+  }
   Bytes out;
   std::size_t total = region_bytes;
   for (const auto& b : blocks_) total += b.size();
@@ -83,6 +255,28 @@ Bytes Message::to_wire(std::size_t region_bytes) const {
   return out;
 }
 
+MutByteSpan Message::finalize_wire(std::uint64_t gid, std::size_t region_bytes,
+                                   std::size_t trailer_room) {
+  assert(!rx() && "finalize_wire on a received message");
+  if (!linear()) return {};
+  if (pay_off_ + pay_len_ + trailer_room > wb_->capacity()) return {};
+  if (!wb_.unique()) unshare(8 + region_bytes);
+  std::size_t prefix = 8 + region_bytes;
+  if (head_ - region_cap_ < prefix) grow_headroom(prefix);
+  std::uint8_t* base = wb_->data();
+  std::uint8_t* p = base + head_ - prefix;
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<std::uint8_t>(gid >> (8 * i));
+  }
+  std::size_t staged = std::min(region_len_, region_bytes);
+  std::memcpy(p + 8, base, staged);
+  std::memset(p + 8 + staged, 0, region_bytes - staged);
+  msg_path_stats().wire_fastpath.fetch_add(1, std::memory_order_relaxed);
+  return MutByteSpan(p, prefix + (pay_off_ - head_) + pay_len_ + trailer_room);
+}
+
+// -- rx ---------------------------------------------------------------------
+
 Reader Message::reader() const {
   assert(rx() && "reader on a tx message");
   return Reader(ByteSpan(*rx_buf_).subspan(rx_cursor_, rx_end_ - rx_cursor_));
@@ -94,8 +288,11 @@ void Message::consume(std::size_t n) {
   rx_cursor_ += n;
 }
 
+// -- payload ----------------------------------------------------------------
+
 std::size_t Message::payload_size() const {
   if (rx()) return rx_end_ - rx_cursor_;
+  if (linear()) return pay_len_;
   std::size_t n = 0;
   for (const auto& c : chunks_) n += c.len;
   return n;
@@ -105,6 +302,10 @@ Bytes Message::payload_bytes() const {
   if (rx()) {
     return Bytes(rx_buf_->begin() + static_cast<std::ptrdiff_t>(rx_cursor_),
                  rx_buf_->begin() + static_cast<std::ptrdiff_t>(rx_end_));
+  }
+  if (linear()) {
+    const std::uint8_t* base = wb_->data();
+    return Bytes(base + pay_off_, base + pay_off_ + pay_len_);
   }
   Bytes out;
   out.reserve(payload_size());
@@ -120,6 +321,12 @@ Message Message::slice_payload(std::size_t off, std::size_t len) const {
   if (rx()) {
     if (rx_cursor_ + off + len > rx_end_) throw DecodeError("slice past end");
     if (len > 0) m.chunks_.push_back(Chunk{rx_buf_, rx_cursor_ + off, len});
+    return m;
+  }
+  if (linear()) {
+    assert(head_ == pay_off_ && "slice_payload with pushed headers");
+    if (off + len > pay_len_) throw std::out_of_range("slice_payload past end");
+    if (len > 0) m.chunks_.push_back(Chunk{share_buffer(), pay_off_ + off, len});
     return m;
   }
   assert(blocks_.empty() && "slice_payload with pushed headers");
@@ -140,12 +347,22 @@ Message Message::slice_payload(std::size_t off, std::size_t len) const {
   return m;
 }
 
+// -- capture ----------------------------------------------------------------
+
 Bytes Message::upper_wire() const {
   if (rx()) {
     return Bytes(rx_buf_->begin() + static_cast<std::ptrdiff_t>(rx_cursor_),
                  rx_buf_->begin() + static_cast<std::ptrdiff_t>(rx_end_));
   }
+  if (linear()) {
+    const std::uint8_t* base = wb_->data();
+    return Bytes(base + head_, base + pay_off_ + pay_len_);
+  }
   Bytes out;
+  std::size_t total = 0;
+  for (const auto& b : blocks_) total += b.size();
+  for (const auto& c : chunks_) total += c.len;
+  out.reserve(total);
   for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) {
     out.insert(out.end(), it->begin(), it->end());
   }
@@ -156,10 +373,22 @@ Bytes Message::upper_wire() const {
   return out;
 }
 
+ByteSpan Message::upper_span() const {
+  if (rx()) {
+    return ByteSpan(rx_buf_->data() + rx_cursor_, rx_end_ - rx_cursor_);
+  }
+  if (linear()) {
+    return ByteSpan(wb_->data() + head_, pay_off_ + pay_len_ - head_);
+  }
+  return {};
+}
+
 std::size_t Message::header_overhead() const {
-  std::size_t n = region_.size();
+  if (linear()) return region_len_ + (pay_off_ - head_);
+  std::size_t rsz = region().size();
+  std::size_t n = rsz;
   for (const auto& b : blocks_) n += b.size();
-  if (rx()) n += rx_cursor_ >= region_.size() ? rx_cursor_ - region_.size() : 0;
+  if (rx()) n += rx_cursor_ >= rsz ? rx_cursor_ - rsz : 0;
   return n;
 }
 

@@ -18,12 +18,14 @@ class SimTransport final : public Transport {
     net_->send(src.id, dst.id, datagram);
   }
 
-  /// Register an endpoint's receive path with the network.
+  /// Register an endpoint's receive path with the network. Zero-copy: the
+  /// network's shared receive buffer is threaded straight through to the
+  /// stack, which pops headers by advancing a cursor over it.
   void bind(Endpoint& ep) {
-    net_->attach(ep.address().id, [&ep](sim::NodeId src, ByteSpan data) {
-      ep.deliver_datagram(
-          Address{src}, std::make_shared<const Bytes>(data.begin(), data.end()));
-    });
+    net_->attach(ep.address().id,
+                 [&ep](sim::NodeId src, std::shared_ptr<const Bytes> data) {
+                   ep.deliver_datagram(Address{src}, std::move(data));
+                 });
   }
 
   /// Fail-stop crash: endpoint stops processing and the network stops

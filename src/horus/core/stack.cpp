@@ -34,6 +34,10 @@ Stack::Stack(StackConfig cfg, std::vector<std::unique_ptr<Layer>> layers,
       throw std::invalid_argument("transport adapter " + layers_[i]->info().name +
                                   " must be the bottom layer");
     }
+    if (layers_[i]->info().fields.size() > PoppedHeader::FieldArray::kMaxFields) {
+      throw std::invalid_argument("layer " + layers_[i]->info().name +
+                                  " declares too many header fields");
+    }
     layers_[i]->attach(*this, i);
   }
 
@@ -51,6 +55,38 @@ Stack::Stack(StackConfig cfg, std::vector<std::unique_ptr<Layer>> layers,
 
   compile_layout();
   compile_skip_tables();
+  compute_headroom_budget();
+  // One buffer class fits the worst-case descent over an MTU-sized payload,
+  // so every in-budget tx message is a pool hit.
+  tailroom_ = 4;  // CRC-32 trailer space (harmless spare for RAWCOM stacks)
+  pool_ = std::make_unique<WireBufPool>(region_bytes() + headroom_budget_ +
+                                        cfg_.mtu + tailroom_);
+}
+
+void Stack::compute_headroom_budget() {
+  // Worst case framing any descent can prepend: the endpoint demux prefix,
+  // the compacted region, and each layer's header. Fixed fields are
+  // word-aligned in the classic codec and live in the region in compact
+  // mode; variable extensions travel as blocks in both, with a slack
+  // allowance (an undersized estimate only costs a counted growth copy,
+  // never correctness).
+  std::size_t h = kGidPrefix + region_bytes();
+  for (const auto& l : layers_) {
+    const LayerInfo& li = l->info();
+    if (cfg_.codec == HeaderCodec::kPushPop) {
+      for (const FieldSpec& f : li.fields) h += f.bits <= 32 ? 4 : 8;
+    }
+    if (li.uses_var) h += 64;
+  }
+  headroom_budget_ = h + 16;
+}
+
+void Stack::maybe_linearize(Message& m) {
+  if (pool_ == nullptr || m.rx() || m.linear()) return;
+  std::size_t need = region_bytes() + headroom_budget_ + m.payload_size() +
+                     m.pending_block_bytes() + tailroom_;
+  if (need > pool_->buf_capacity()) return;  // oversize: keep the gather path
+  m.linearize(pool_->acquire(need), region_bytes(), tailroom_);
 }
 
 void Stack::compile_layout() {
@@ -107,6 +143,10 @@ void Stack::deliver_datagram(Address src, GroupId gid,
 }
 
 void Stack::forward_down(std::size_t from_index, Group& g, DownEvent& ev) {
+  // Any data descent -- an app downcall or a message originated mid-stack
+  // (token, retransmission, fragment) -- moves onto the linear hot path at
+  // its first boundary. No-op once linear.
+  if (is_data(ev.type)) maybe_linearize(ev.msg);
   std::size_t next;
   if (from_index == kAppSink) {
     next = 0;
@@ -172,14 +212,38 @@ void Stack::push_header(Message& m, const Layer& layer,
       layout_.set(region, grp, i, fields[i]);
     }
     if (li.uses_var) {
-      Writer w;
-      w.bytes(var);
-      m.push_block(w.data());
+      std::size_t n = varint_size(var.size()) + var.size();
+      if (MutByteSpan dst = m.prepend(n); dst.data() != nullptr) {
+        Writer w(dst);  // serialize straight into the headroom
+        w.bytes(var);
+      } else {
+        Writer w;
+        w.bytes(var);
+        m.push_block(w.data());
+      }
     }
     return;
   }
   // Classic codec: every field is pushed word-aligned, exactly the overhead
   // Section 10 complains about ("a considerable overhead of unused bits").
+  // The encoded size is known up front, so linear messages reserve it in
+  // their headroom and serialize in place -- no temporary block, no copy.
+  std::size_t n = 0;
+  for (const FieldSpec& f : li.fields) n += f.bits <= 32 ? 4 : 8;
+  if (li.uses_var) n += varint_size(var.size()) + var.size();
+  if (MutByteSpan dst = m.prepend(n); dst.data() != nullptr) {
+    Writer w(dst);
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (li.fields[i].bits <= 32) {
+        w.u32(static_cast<std::uint32_t>(fields[i]));
+      } else {
+        w.u64(fields[i]);
+      }
+    }
+    if (li.uses_var) w.bytes(var);
+    assert(w.external() && w.size() == n);
+    return;
+  }
   Writer w;
   for (std::size_t i = 0; i < fields.size(); ++i) {
     if (li.fields[i].bits <= 32) {

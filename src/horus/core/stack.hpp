@@ -9,6 +9,7 @@
 //  application sink above.
 #pragma once
 
+#include <cassert>
 #include <functional>
 #include <memory>
 #include <span>
@@ -19,6 +20,7 @@
 #include "horus/core/layer.hpp"
 #include "horus/core/message.hpp"
 #include "horus/core/types.hpp"
+#include "horus/core/wirebuf.hpp"
 #include "horus/runtime/executor.hpp"
 #include "horus/sim/scheduler.hpp"
 #include "horus/util/crypto.hpp"
@@ -100,8 +102,25 @@ struct StackStats {
 };
 
 /// Decoded fixed fields + variable extension of one layer's header.
+/// Fields live inline (no layer declares anywhere near kMaxFields of them),
+/// so popping a header never allocates.
 struct PoppedHeader {
-  std::vector<std::uint64_t> fields;
+  class FieldArray {
+   public:
+    static constexpr std::size_t kMaxFields = 8;
+    void push_back(std::uint64_t v) {
+      assert(n_ < kMaxFields);
+      v_[n_++] = v;
+    }
+    void reserve(std::size_t) {}  // capacity is fixed; vector-compatible
+    [[nodiscard]] std::uint64_t operator[](std::size_t i) const { return v_[i]; }
+    [[nodiscard]] std::size_t size() const { return n_; }
+
+   private:
+    std::uint64_t v_[kMaxFields] = {};
+    std::size_t n_ = 0;
+  };
+  FieldArray fields;
   Bytes var;
 };
 
@@ -155,6 +174,15 @@ class Stack {
   /// Size of the compacted region (0 in push/pop mode).
   [[nodiscard]] std::size_t region_bytes() const;
 
+  /// Worst-case bytes of framing + headers any descent through this stack
+  /// can prepend (gid prefix + region + every layer's fields + var slack).
+  /// Computed once at construction; sizes the wire-buffer headroom so that
+  /// a steady-state cast never reallocates.
+  [[nodiscard]] std::size_t headroom_budget() const { return headroom_budget_; }
+
+  /// The stack's wire-buffer pool (linear tx messages recycle through it).
+  [[nodiscard]] WireBufPool& pool() { return *pool_; }
+
   /// The region bits belonging to layers strictly above `layer`, copied out
   /// and masked to whole bytes. Integrity layers (CHKSUM, SIGN) include
   /// this in their coverage so that compacted headers of upper layers are
@@ -196,6 +224,11 @@ class Stack {
  private:
   void compile_layout();
   void compile_skip_tables();
+  void compute_headroom_budget();
+  /// Convert an app-originated data message to linear form in a pooled
+  /// wire buffer (the zero-allocation hot path). Messages too large for
+  /// the pool's buffer class stay chunked and take the gather path.
+  void maybe_linearize(Message& m);
 
   StackConfig cfg_;
   std::vector<std::unique_ptr<Layer>> layers_;  // [0] = top
@@ -210,6 +243,9 @@ class Stack {
   // (layers_.size() means the sink).
   std::vector<std::size_t> next_down_;
   std::vector<std::size_t> next_up_;  // toward the app; index 0's "next" is sink
+  std::size_t headroom_budget_ = 0;
+  std::size_t tailroom_ = 0;  // trailer space (CRC) reserved behind payloads
+  std::unique_ptr<WireBufPool> pool_;
   StackStats stats_;
 };
 

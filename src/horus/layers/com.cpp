@@ -34,18 +34,17 @@ void Com::down(Group& g, DownEvent& ev) {
   switch (ev.type) {
     case DownType::kCast: {
       // One serialization, one datagram per current view member. The sender
-      // is included: a member delivers its own multicasts.
-      Message m = ev.msg;
+      // is included: a member delivers its own multicasts. The event's
+      // message is consumed in place -- COM is the bottom of the stack.
       std::uint64_t fields[] = {stack().address().id, 0};
-      stack().push_header(m, *this, fields);
-      transmit(g, m, g.view().members());
+      stack().push_header(ev.msg, *this, fields);
+      transmit(g, ev.msg, g.view().members());
       return;
     }
     case DownType::kSend: {
-      Message m = ev.msg;
       std::uint64_t fields[] = {stack().address().id, 1};
-      stack().push_header(m, *this, fields);
-      transmit(g, m, ev.dests);
+      stack().push_header(ev.msg, *this, fields);
+      transmit(g, ev.msg, ev.dests);
       return;
     }
     default:
@@ -55,10 +54,34 @@ void Com::down(Group& g, DownEvent& ev) {
   }
 }
 
-void Com::transmit(Group& g, const Message& msg,
+void Com::transmit(Group& g, Message& msg,
                    const std::vector<Address>& dests) {
   // Serialize once, transmit the same datagram to every destination.
   // Frame: [group id (endpoint demux prefix)][stack bytes][crc32?].
+  std::size_t trailer = checksum_ ? 4 : 0;
+  std::size_t payload = msg.payload_size();
+  // Fast path: linear messages already hold the whole frame contiguously in
+  // their wire buffer; finalize writes the prefix into the headroom and the
+  // trailer into the tailroom, with no allocation and no copy.
+  MutByteSpan frame =
+      msg.finalize_wire(g.gid().id, stack().region_bytes(), trailer);
+  if (frame.data() != nullptr) {
+    if (checksum_) {
+      std::size_t body = frame.size() - 4;
+      std::uint32_t crc = crc32(ByteSpan(frame.data(), body));
+      for (int i = 0; i < 4; ++i) {
+        frame[body + static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(crc >> (8 * i));
+      }
+    }
+    for (const Address& dst : dests) {
+      stack().transport_send_raw(dst, frame, payload);
+    }
+    return;
+  }
+  // Gather path: chunked messages (mid-stack control traffic, oversize
+  // payloads) are linearized here, once.
+  msg_path_stats().wire_gather.fetch_add(1, std::memory_order_relaxed);
   Writer w;
   w.u64(g.gid().id);
   w.raw(msg.to_wire(stack().region_bytes()));
@@ -69,7 +92,6 @@ void Com::transmit(Group& g, const Message& msg,
       wire.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
     }
   }
-  std::size_t payload = msg.payload_size();
   for (const Address& dst : dests) {
     stack().transport_send_raw(dst, wire, payload);
   }

@@ -32,7 +32,7 @@ class Com final : public Layer {
   void dump(Group& g, std::string& out) const override;
 
  private:
-  void transmit(Group& g, const Message& msg, const std::vector<Address>& dests);
+  void transmit(Group& g, Message& msg, const std::vector<Address>& dests);
 
   bool checksum_;
   LayerInfo info_;

@@ -53,12 +53,21 @@ void Frag::down(Group& g, DownEvent& ev) {
     return;
   }
   // Fragmenting path: capture the message content (upper headers + region +
-  // payload) into one bundle, then slice it.
+  // payload) into one bundle, then slice it. The content is serialized
+  // straight from the message's own buffers into one exactly-sized bundle
+  // (no intermediate CapturedMsg copy).
   ++st.fragmented;
-  CapturedMsg cap = CapturedMsg::capture(ev.msg);
+  ByteSpan region = ev.msg.region();
+  ByteSpan upper = ev.msg.upper_span();
+  Bytes rest;  // fallback storage for chunked messages
+  if (upper.data() == nullptr) {
+    rest = ev.msg.upper_wire();
+    upper = ByteSpan(rest);
+  }
   Writer w;
-  w.bytes(cap.region);
-  w.raw(cap.rest);
+  w.reserve(varint_size(region.size()) + region.size() + upper.size());
+  w.bytes(region);
+  w.raw(upper);
   auto bundle = std::make_shared<const Bytes>(w.take());
   std::size_t total = bundle->size();
   for (std::size_t off = 0; off < total; off += limit) {

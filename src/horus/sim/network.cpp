@@ -61,6 +61,9 @@ void SimNetwork::send(NodeId src, NodeId dst, ByteSpan data) {
     ++stats_.dropped_loss;
     return;
   }
+  // The one copy on the receive path (the simulated NIC writing into a
+  // fresh receive buffer); every delivery of this datagram -- duplicates
+  // included -- shares it from here on.
   Bytes copy(data.begin(), data.end());
   if (rng_.chance(p.corrupt) && !copy.empty()) {
     ++stats_.corrupted;
@@ -71,14 +74,16 @@ void SimNetwork::send(NodeId src, NodeId dst, ByteSpan data) {
           static_cast<std::uint8_t>(1 + rng_.next_below(255));
     }
   }
+  auto shared = std::make_shared<const Bytes>(std::move(copy));
   if (rng_.chance(p.duplicate)) {
     ++stats_.duplicated;
-    deliver_later(src, dst, copy, p);
+    deliver_later(src, dst, shared, p);
   }
-  deliver_later(src, dst, std::move(copy), p);
+  deliver_later(src, dst, std::move(shared), p);
 }
 
-void SimNetwork::deliver_later(NodeId src, NodeId dst, Bytes data,
+void SimNetwork::deliver_later(NodeId src, NodeId dst,
+                               std::shared_ptr<const Bytes> data,
                                const LinkParams& p) {
   Duration jitter = p.delay_max > p.delay_min
                         ? rng_.next_below(p.delay_max - p.delay_min)
@@ -97,7 +102,7 @@ void SimNetwork::deliver_later(NodeId src, NodeId dst, Bytes data,
       return;
     }
     ++stats_.delivered;
-    it->second(src, ByteSpan(data));
+    it->second(src, data);
   });
 }
 

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -51,7 +52,12 @@ struct NetStats {
 
 class SimNetwork {
  public:
-  using Handler = std::function<void(NodeId src, ByteSpan data)>;
+  /// Datagrams are delivered as shared buffers: the network copies the
+  /// caller's bytes exactly once at send time (the simulated NIC DMA) and
+  /// every delivery -- including duplicates -- shares that one buffer, so
+  /// receive paths can wrap it zero-copy.
+  using Handler =
+      std::function<void(NodeId src, std::shared_ptr<const Bytes> data)>;
 
   SimNetwork(Scheduler& sched, std::uint64_t seed = 0x5eed)
       : sched_(sched), rng_(seed) {}
@@ -89,7 +95,8 @@ class SimNetwork {
 
  private:
   const LinkParams& params_for(NodeId src, NodeId dst) const;
-  void deliver_later(NodeId src, NodeId dst, Bytes data, const LinkParams& p);
+  void deliver_later(NodeId src, NodeId dst, std::shared_ptr<const Bytes> data,
+                     const LinkParams& p);
 
   Scheduler& sched_;
   Rng rng_;

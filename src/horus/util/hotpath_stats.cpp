@@ -1,0 +1,10 @@
+#include "horus/util/hotpath_stats.hpp"
+
+namespace horus {
+
+MsgPathStats& msg_path_stats() {
+  static MsgPathStats stats;
+  return stats;
+}
+
+}  // namespace horus

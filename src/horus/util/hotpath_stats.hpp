@@ -1,0 +1,33 @@
+// Process-wide counters for the message hot path (headroom wire buffers,
+// pooled writers, zero-copy receive). Benches report them per operation;
+// the allocation tests assert the steady-state invariants: a warmed-up
+// cast must show no pool misses, no writer spills and no headroom growths.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace horus {
+
+struct MsgPathStats {
+  std::atomic<std::uint64_t> pool_hits{0};     ///< pooled buffer reused
+  std::atomic<std::uint64_t> pool_misses{0};   ///< new buffer heap-allocated
+  std::atomic<std::uint64_t> oversize{0};      ///< request exceeded pool class
+  std::atomic<std::uint64_t> headroom_growths{0};  ///< prepend overflowed
+  std::atomic<std::uint64_t> unshare_copies{0};    ///< copy-on-write clones
+  std::atomic<std::uint64_t> wire_fastpath{0};     ///< datagrams built in place
+  std::atomic<std::uint64_t> wire_gather{0};       ///< gather/copy fallback
+  std::atomic<std::uint64_t> writer_spills{0};     ///< external Writer overflow
+  std::atomic<std::uint64_t> bytes_copied{0};      ///< hot-path memcpy volume
+
+  void reset() {
+    pool_hits = pool_misses = oversize = headroom_growths = 0;
+    unshare_copies = wire_fastpath = wire_gather = writer_spills = 0;
+    bytes_copied = 0;
+  }
+};
+
+/// The process-wide instance (the hot path is too hot for per-stack lookup).
+MsgPathStats& msg_path_stats();
+
+}  // namespace horus

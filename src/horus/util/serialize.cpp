@@ -1,26 +1,66 @@
 #include "horus/util/serialize.hpp"
 
+#include <cassert>
+#include <cstring>
+
 namespace horus {
 
+std::uint8_t* Writer::grab(std::size_t n) {
+  if (ext_ != nullptr) {
+    if (len_ + n <= ext_cap_) {
+      std::uint8_t* p = ext_ + len_;
+      len_ += n;
+      return p;
+    }
+    spill(n);
+  }
+  std::size_t old = buf_.size();
+  buf_.resize(old + n);
+  return buf_.data() + old;
+}
+
+void Writer::spill(std::size_t more) {
+  msg_path_stats().writer_spills.fetch_add(1, std::memory_order_relaxed);
+  buf_.reserve(len_ + more + 64);
+  buf_.assign(ext_, ext_ + len_);
+  ext_ = nullptr;
+  ext_cap_ = 0;
+  len_ = 0;
+}
+
+const Bytes& Writer::data() const {
+  assert(ext_ == nullptr && "data() on an external-buffer Writer");
+  return buf_;
+}
+
+Bytes Writer::take() {
+  if (ext_ != nullptr) return Bytes(ext_, ext_ + len_);
+  return std::move(buf_);
+}
+
 void Writer::u16(std::uint16_t v) {
-  buf_.push_back(static_cast<std::uint8_t>(v));
-  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  std::uint8_t* p = grab(2);
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
 }
 
 void Writer::u32(std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  std::uint8_t* p = grab(4);
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
 }
 
 void Writer::u64(std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  std::uint8_t* p = grab(8);
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
 }
 
 void Writer::varint(std::uint64_t v) {
+  std::uint8_t* p = grab(varint_size(v));
   while (v >= 0x80) {
-    buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    *p++ = static_cast<std::uint8_t>(v) | 0x80;
     v >>= 7;
   }
-  buf_.push_back(static_cast<std::uint8_t>(v));
+  *p = static_cast<std::uint8_t>(v);
 }
 
 void Writer::bytes(ByteSpan b) {
@@ -28,11 +68,14 @@ void Writer::bytes(ByteSpan b) {
   raw(b);
 }
 
-void Writer::raw(ByteSpan b) { buf_.insert(buf_.end(), b.begin(), b.end()); }
+void Writer::raw(ByteSpan b) {
+  if (b.empty()) return;
+  std::memcpy(grab(b.size()), b.data(), b.size());
+}
 
 void Writer::str(std::string_view s) {
   varint(s.size());
-  buf_.insert(buf_.end(), s.begin(), s.end());
+  if (!s.empty()) std::memcpy(grab(s.size()), s.data(), s.size());
 }
 
 std::uint8_t Reader::u8() {

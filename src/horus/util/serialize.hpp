@@ -3,6 +3,16 @@
 // Fixed-width integers are little-endian; varints use LEB128. Readers are
 // bounds-checked: reading past the end raises DecodeError, which protocol
 // layers translate into dropping the (garbled) message.
+//
+// A Writer runs in one of two modes:
+//  * internal (default): appends into an owned heap buffer, growing as
+//    needed -- the general-purpose encoder every layer uses for control
+//    payloads;
+//  * external: writes land directly in caller-provided storage (e.g. the
+//    headroom of a wire buffer), performing zero allocations. If the
+//    scratch span overflows, the writer spills to an internal heap buffer
+//    (counted in msg_path_stats().writer_spills) so correctness never
+//    depends on the caller's size estimate.
 #pragma once
 
 #include <cstdint>
@@ -10,6 +20,7 @@
 #include <string>
 
 #include "horus/util/bytes.hpp"
+#include "horus/util/hotpath_stats.hpp"
 
 namespace horus {
 
@@ -19,12 +30,31 @@ class DecodeError : public std::runtime_error {
   explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
 };
 
-/// Append-only binary encoder.
+/// Encoded size of a LEB128 varint (for exact-size headroom reservations).
+constexpr std::size_t varint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+/// Append-only binary encoder (see the mode discussion above).
 class Writer {
  public:
   Writer() = default;
+  /// External-buffer mode: writes go into `scratch`, no allocation.
+  explicit Writer(MutByteSpan scratch)
+      : ext_(scratch.data()), ext_cap_(scratch.size()) {}
 
-  void u8(std::uint8_t v) { buf_.push_back(v); }
+  /// Pre-size the internal buffer (no-op in external mode) so a known-size
+  /// encode performs a single allocation.
+  void reserve(std::size_t n) {
+    if (ext_ == nullptr) buf_.reserve(buf_.size() + n);
+  }
+
+  void u8(std::uint8_t v) { *grab(1) = v; }
   void u16(std::uint16_t v);
   void u32(std::uint32_t v);
   void u64(std::uint64_t v);
@@ -37,12 +67,30 @@ class Writer {
   void raw(ByteSpan b);
   void str(std::string_view s);
 
-  [[nodiscard]] const Bytes& data() const { return buf_; }
-  [[nodiscard]] Bytes take() { return std::move(buf_); }
-  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  /// Still entirely inside the caller's scratch buffer (never true for
+  /// internal-mode writers).
+  [[nodiscard]] bool external() const { return ext_ != nullptr; }
+  /// The written bytes, in either mode.
+  [[nodiscard]] ByteSpan span() const {
+    return ext_ != nullptr ? ByteSpan(ext_, len_) : ByteSpan(buf_);
+  }
+  /// Internal mode only (external writers have no owned buffer).
+  [[nodiscard]] const Bytes& data() const;
+  /// Surrender the buffer (copies in external mode).
+  [[nodiscard]] Bytes take();
+  [[nodiscard]] std::size_t size() const {
+    return ext_ != nullptr ? len_ : buf_.size();
+  }
 
  private:
+  /// Reserve n bytes of write space and advance; spills external -> heap.
+  std::uint8_t* grab(std::size_t n);
+  void spill(std::size_t more);
+
   Bytes buf_;
+  std::uint8_t* ext_ = nullptr;
+  std::size_t ext_cap_ = 0;
+  std::size_t len_ = 0;  ///< external-mode write position
 };
 
 /// Bounds-checked binary decoder over a non-owning view.

@@ -4,7 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
 #include <map>
+#include <new>
 #include <string>
 #include <vector>
 
@@ -13,6 +17,38 @@
 namespace horus::testing {
 
 constexpr GroupId kGroup{42};
+
+/// Global heap-allocation counter for zero-allocation assertions.
+///
+/// Define HORUS_TEST_COUNT_ALLOCS in exactly one translation unit of a test
+/// binary *before* including this header to install counting operator
+/// new/delete; then scope measurements with AllocCounter:
+///
+///   AllocCounter c;
+///   hot_path();
+///   EXPECT_EQ(c.allocations(), 0u);
+///
+/// Each test source is its own binary here, so defining the macro at the
+/// top of the file is safe.
+struct AllocCounterState {
+  static std::atomic<std::uint64_t>& count() {
+    static std::atomic<std::uint64_t> n{0};
+    return n;
+  }
+};
+
+class AllocCounter {
+ public:
+  AllocCounter() : start_(AllocCounterState::count().load()) {}
+  /// Heap allocations since construction (or the last reset()).
+  [[nodiscard]] std::uint64_t allocations() const {
+    return AllocCounterState::count().load() - start_;
+  }
+  void reset() { start_ = AllocCounterState::count().load(); }
+
+ private:
+  std::uint64_t start_;
+};
 
 /// Records everything the application sees from one endpoint.
 struct AppLog {
@@ -118,3 +154,23 @@ struct World {
 };
 
 }  // namespace horus::testing
+
+#ifdef HORUS_TEST_COUNT_ALLOCS
+// Counting replacements for the global allocation functions. malloc/free are
+// used underneath so the counter itself never recurses. sized/aligned
+// variants forward to these. (GCC flags free() inside operator delete as
+// mismatched because it cannot see that our operator new mallocs.)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t size) {
+  horus::testing::AllocCounterState::count().fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
+#endif  // HORUS_TEST_COUNT_ALLOCS

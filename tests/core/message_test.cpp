@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include "horus/core/wirebuf.hpp"
 #include "horus/layers/common.hpp"
+#include "horus/util/hotpath_stats.hpp"
 
 namespace horus {
 namespace {
@@ -204,6 +206,153 @@ TEST(Message, FromWireOffsetPastEndThrows) {
   EXPECT_THROW(Message::from_wire(std::make_shared<const Bytes>(tiny), 0,
                                   tiny.size(), 5),
                DecodeError);
+}
+
+// -- linear (headroom) builder ----------------------------------------------
+
+// Build the same message twice -- once chunked (legacy gather path), once
+// linear (headroom builder) -- and check the wire bytes agree.
+TEST(MessageLinear, FinalizeMatchesLegacyToWire) {
+  constexpr std::size_t kRegion = 4;
+  auto build = [](Message& m) {
+    MutByteSpan region = m.region_mut(kRegion);
+    region[0] = 0xaa;
+    region[2] = 0xbb;
+    m.push_block(to_bytes("INNER"));
+    m.push_block(to_bytes("out"));
+  };
+
+  Message legacy = Message::from_string("payload");
+  build(legacy);
+  Bytes want = legacy.to_wire(kRegion);
+
+  WireBufPool pool(256);
+  Message lin = Message::from_string("payload");
+  ASSERT_TRUE(lin.linearize(pool.acquire(256), kRegion, /*tailroom=*/2));
+  ASSERT_TRUE(lin.linear());
+  build(lin);
+  EXPECT_EQ(lin.to_wire(kRegion), want);  // gather from linear form agrees
+
+  MutByteSpan frame = lin.finalize_wire(0x1122334455667788ull, kRegion, 2);
+  ASSERT_NE(frame.data(), nullptr);
+  ASSERT_EQ(frame.size(), 8 + want.size() + 2);
+  EXPECT_EQ(frame[0], 0x88);  // gid little-endian
+  EXPECT_EQ(frame[7], 0x11);
+  EXPECT_EQ(Bytes(frame.begin() + 8, frame.end() - 2), want);
+
+  // finalize_wire is repeatable (retransmission) and leaves content intact.
+  MutByteSpan again = lin.finalize_wire(0x1122334455667788ull, kRegion, 2);
+  EXPECT_EQ(Bytes(again.begin() + 8, again.end() - 2), want);
+  EXPECT_EQ(lin.payload_string(), "payload");
+}
+
+// linearize absorbs blocks pushed before the message reached the stack
+// boundary (mid-stack-originated control messages), preserving wire order.
+TEST(MessageLinear, LinearizeAbsorbsExistingBlocks) {
+  Message legacy = Message::from_string("pp");
+  legacy.push_block(to_bytes("AA"));
+  legacy.push_block(to_bytes("bb"));
+  Bytes want = legacy.to_wire(0);
+
+  WireBufPool pool(128);
+  Message lin = Message::from_string("pp");
+  lin.push_block(to_bytes("AA"));
+  lin.push_block(to_bytes("bb"));
+  ASSERT_TRUE(lin.linearize(pool.acquire(128), 0, 0));
+  EXPECT_EQ(lin.to_wire(0), want);
+  lin.push_block(to_bytes("cc"));  // later pushes land outside, in order
+  EXPECT_EQ(to_string(lin.to_wire(0)), "ccbbAApp");
+}
+
+TEST(MessageLinear, LinearizeRejectsOversize) {
+  WireBufPool pool(16);
+  Message m = Message::from_string("this payload is far too large");
+  EXPECT_FALSE(m.linearize(pool.acquire(16), 0, 0));
+  EXPECT_FALSE(m.linear());  // unchanged; gather path still works
+  EXPECT_EQ(m.payload_string(), "this payload is far too large");
+}
+
+// Headroom overflow degrades gracefully: the message moves to a larger
+// off-pool buffer and the pushes keep working.
+TEST(MessageLinear, HeadroomOverflowGrows) {
+  auto& growths = msg_path_stats().headroom_growths;
+  std::uint64_t before = growths.load();
+  WireBufPool pool(32);
+  Message m = Message::from_string("p");
+  ASSERT_TRUE(m.linearize(pool.acquire(32), 0, 0));
+  Bytes big(64, 0x5a);
+  m.push_block(big);  // cannot fit in 32 bytes of headroom
+  EXPECT_TRUE(m.linear());
+  EXPECT_GT(growths.load(), before);
+  Bytes wire = m.to_wire(0);
+  ASSERT_EQ(wire.size(), 65u);
+  EXPECT_EQ(wire[0], 0x5a);
+  EXPECT_EQ(wire[64], static_cast<std::uint8_t>('p'));
+}
+
+// Copies of a linear message share the wire buffer; the first mutation of
+// a shared buffer clones it, leaving the other copy untouched.
+TEST(MessageLinear, CopyOnWrite) {
+  auto& cows = msg_path_stats().unshare_copies;
+  std::uint64_t before = cows.load();
+  WireBufPool pool(128);
+  Message a = Message::from_string("body");
+  ASSERT_TRUE(a.linearize(pool.acquire(128), 0, 0));
+  a.push_block(to_bytes("H1"));
+  Message b = a;  // shares the buffer
+  b.push_block(to_bytes("H2"));  // must not disturb a
+  EXPECT_GT(cows.load(), before);
+  EXPECT_EQ(to_string(a.to_wire(0)), "H1body");
+  EXPECT_EQ(to_string(b.to_wire(0)), "H2H1body");
+}
+
+TEST(MessageLinear, SlicePayload) {
+  WireBufPool pool(128);
+  Message m = Message::from_string("0123456789");
+  ASSERT_TRUE(m.linearize(pool.acquire(128), 0, 0));
+  Message a = m.slice_payload(0, 4);
+  Message b = m.slice_payload(4, 6);
+  EXPECT_EQ(a.payload_string(), "0123");
+  EXPECT_EQ(b.payload_string(), "456789");
+}
+
+TEST(MessageLinear, MakeLinearRoundTrip) {
+  WireBufPool pool(128);
+  Bytes payload = to_bytes("direct");
+  Message m = Message::make_linear(pool.acquire(128), 0, 0, ByteSpan(payload));
+  ASSERT_TRUE(m.linear());
+  EXPECT_EQ(m.payload_string(), "direct");
+  MutByteSpan hdr = m.prepend(3);
+  ASSERT_NE(hdr.data(), nullptr);
+  hdr[0] = 'h';
+  hdr[1] = 'd';
+  hdr[2] = 'r';
+  MutByteSpan frame = m.finalize_wire(7, 0, 0);
+  ASSERT_NE(frame.data(), nullptr);
+  Message rx = Message::from_wire(ByteSpan(frame), 0);
+  Reader r = rx.reader();
+  EXPECT_EQ(r.u64(), 7u);  // gid prefix
+  rx.consume(8);
+  Reader r2 = rx.reader();
+  EXPECT_EQ(to_string(r2.raw(3)), "hdr");
+  rx.consume(3);
+  EXPECT_EQ(rx.payload_string(), "direct");
+}
+
+// Growing the region past its staged capacity abandons the linear form but
+// keeps the logical content (rare escape hatch).
+TEST(MessageLinear, RegionOverflowDelinearizes) {
+  WireBufPool pool(128);
+  Message m = Message::from_string("p");
+  ASSERT_TRUE(m.linearize(pool.acquire(128), 2, 0));
+  m.push_block(to_bytes("HH"));
+  MutByteSpan region = m.region_mut(6);  // > staged cap of 2
+  ASSERT_EQ(region.size(), 6u);
+  region[5] = 0x42;
+  EXPECT_FALSE(m.linear());
+  Bytes wire = m.to_wire(6);
+  EXPECT_EQ(wire[5], 0x42);
+  EXPECT_EQ(to_string(Bytes(wire.begin() + 6, wire.end())), "HHp");
 }
 
 TEST(Message, CopyShareChunks) {

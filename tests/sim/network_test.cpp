@@ -15,8 +15,8 @@ struct Rig {
   std::map<NodeId, std::vector<Bytes>> inbox;
 
   void attach(NodeId n) {
-    net.attach(n, [this, n](NodeId, ByteSpan data) {
-      inbox[n].emplace_back(data.begin(), data.end());
+    net.attach(n, [this, n](NodeId, std::shared_ptr<const Bytes> data) {
+      inbox[n].push_back(*data);
     });
   }
 };
