@@ -39,6 +39,13 @@ class HorusSystem {
     /// Properties of the simulated transport (P1: best effort).
     props::PropertySet network_properties =
         props::make_set({props::Property::kBestEffort});
+    /// 0: the deterministic single-threaded GroupExecutor (default; runs
+    /// are bit-for-bit reproducible). N > 0: every endpoint gets a
+    /// runtime::ShardedExecutor with N kernel threads, so independent
+    /// groups progress concurrently. Event *timing* then depends on thread
+    /// interleaving -- use for throughput benches, soak tests and the
+    /// concurrency stress tests, not for deterministic scenario tests.
+    unsigned shards = 0;
   };
 
   HorusSystem() : HorusSystem(Options{}) {}
@@ -55,10 +62,14 @@ class HorusSystem {
   }
 
   Endpoint& create_endpoint(Address addr, const std::string& stack_spec) {
+    std::unique_ptr<runtime::Executor> exec;
+    if (opts_.shards > 0) {
+      exec = std::make_unique<runtime::ShardedExecutor>(opts_.shards);
+    }
     auto ep = std::make_unique<Endpoint>(addr, opts_.stack,
                                          layers::make_stack(stack_spec),
                                          opts_.network_properties, transport_,
-                                         sched_);
+                                         sched_, std::move(exec));
     Endpoint& ref = *ep;
     transport_.bind(ref);
     endpoints_.push_back(std::move(ep));
@@ -94,8 +105,31 @@ class HorusSystem {
 
   // -- simulation control -----------------------------------------------------
 
-  std::size_t run_for(sim::Duration d) { return sched_.run_for(d); }
-  std::size_t run_until(sim::Time t) { return sched_.run_until(t); }
+  std::size_t run_for(sim::Duration d) { return run_until(sched_.now() + d); }
+
+  /// Single-threaded mode: run the event queue up to `t`. Sharded mode:
+  /// advance the clock in ~1ms virtual slices, draining every endpoint's
+  /// shard threads between slices, so work queued on shards executes at a
+  /// virtual time close to when it was posted and the sends/timers it
+  /// creates still land inside this run's horizon.
+  std::size_t run_until(sim::Time t) {
+    if (opts_.shards == 0) return sched_.run_until(t);
+    std::size_t n = 0;
+    for (;;) {
+      // Drain first: downcalls post straight onto shard queues without a
+      // scheduler event, and their sends create the first events.
+      for (auto& ep : endpoints_) ep->executor().drain();
+      std::optional<sim::Time> next = sched_.next_due();
+      if (sched_.now() >= t && (!next || *next > t)) break;
+      sim::Time step_to = t;  // idle queue: jump straight to the horizon
+      if (next) {
+        step_to = std::min(t, std::max(*next, sched_.now() + sim::kMillisecond));
+      }
+      n += sched_.run_until(step_to);
+    }
+    return n;
+  }
+
   [[nodiscard]] sim::Time now() const { return sched_.now(); }
 
   [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }

@@ -11,7 +11,7 @@ Endpoint::Endpoint(Address addr, StackConfig cfg,
                    std::unique_ptr<runtime::Executor> exec)
     : addr_(addr),
       exec_(exec ? std::move(exec)
-                 : std::make_unique<runtime::MonitorExecutor>()),
+                 : std::make_unique<runtime::GroupExecutor>()),
       transport_(&transport),
       sched_(&sched) {
   stack_ = std::make_unique<Stack>(std::move(cfg), std::move(layers),
@@ -22,6 +22,7 @@ Endpoint::Endpoint(Address addr, StackConfig cfg,
 Endpoint::~Endpoint() = default;
 
 Group* Endpoint::find_group(GroupId gid) {
+  std::shared_lock lock(groups_mu_);
   auto it = groups_.find(gid);
   return it != groups_.end() ? it->second.get() : nullptr;
 }
@@ -40,7 +41,10 @@ Group& Endpoint::ensure_group(GroupId gid, Stack& on) {
   g->set_view(View(ViewId{0, addr_}, {addr_}));
   on.init_group(*g);
   Group& ref = *g;
-  groups_.emplace(gid, std::move(g));
+  {
+    std::unique_lock lock(groups_mu_);
+    groups_.emplace(gid, std::move(g));
+  }
   return ref;
 }
 
@@ -156,6 +160,7 @@ void Endpoint::install_view(GroupId gid, std::vector<Address> members) {
 }
 
 void Endpoint::destroy() {
+  std::shared_lock lock(groups_mu_);  // iterate only; no map mutation
   for (auto& [gid, g] : groups_) {
     if (g->destroyed()) continue;
     DownEvent ev;
@@ -163,7 +168,7 @@ void Endpoint::destroy() {
     g->stack().down(*g, std::move(ev));
     g->mark_destroyed();
   }
-  crashed_ = true;
+  crashed_.store(true, std::memory_order_release);
 }
 
 std::string Endpoint::dump(GroupId gid, const std::string& layer_name) {

@@ -4,8 +4,10 @@
 // to the application's handler.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <shared_mutex>
 #include <unordered_map>
 
 #include "horus/core/stack.hpp"
@@ -17,8 +19,13 @@ class Endpoint {
   using UpcallHandler = std::function<void(Group&, UpEvent&)>;
 
   /// `layers` top to bottom; `network_properties` describes the transport
-  /// (normally just P1). If `exec` is null a MonitorExecutor is used (the
-  /// paper's recommended one-thread-per-stack model).
+  /// (normally just P1). If `exec` is null a GroupExecutor is used (the
+  /// paper's monitor model with the group object as the unit of mutual
+  /// exclusion; single-threaded and deterministic). Pass a
+  /// runtime::ShardedExecutor to run this endpoint's groups across N
+  /// kernel threads; the application's upcall handler must then be safe to
+  /// invoke concurrently for *different* groups (calls for one group are
+  /// still serialized).
   Endpoint(Address addr, StackConfig cfg,
            std::vector<std::unique_ptr<Layer>> layers,
            props::PropertySet network_properties, Transport& transport,
@@ -31,6 +38,8 @@ class Endpoint {
   [[nodiscard]] Address address() const { return addr_; }
   /// The default (base) stack created with the endpoint.
   [[nodiscard]] Stack& stack() { return *stack_; }
+  /// The execution model all of this endpoint's stacks run on.
+  [[nodiscard]] runtime::Executor& executor() { return *exec_; }
 
   /// Cactus stacks (Section 4): "a process is allowed to put multiple
   /// endpoints on a single base endpoint. This way, a tree or cactus stack
@@ -97,8 +106,10 @@ class Endpoint {
 
   /// Hard-crash this endpoint: it stops sending, receiving and processing
   /// timers instantly (fail-stop). Used by failure-injection tests.
-  void crash() { crashed_ = true; }
-  [[nodiscard]] bool crashed() const { return crashed_; }
+  void crash() { crashed_.store(true, std::memory_order_release); }
+  [[nodiscard]] bool crashed() const {
+    return crashed_.load(std::memory_order_acquire);
+  }
 
   // -- plumbing used by Stack and the transport -------------------------------
 
@@ -120,9 +131,13 @@ class Endpoint {
   sim::Scheduler* sched_;
   std::unique_ptr<Stack> stack_;
   std::vector<std::unique_ptr<Stack>> extra_stacks_;
+  // Written on the application thread (join/leave), read on every executor
+  // shard (each task re-finds its group). Lookups take the shared side so
+  // the receive hot path never contends with other readers.
+  mutable std::shared_mutex groups_mu_;
   std::unordered_map<GroupId, std::unique_ptr<Group>> groups_;
   UpcallHandler handler_;
-  bool crashed_ = false;
+  std::atomic<bool> crashed_{false};
 };
 
 }  // namespace horus

@@ -4,6 +4,7 @@
 // endpoints to have different views of the same group."
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <memory>
 #include <vector>
@@ -30,8 +31,16 @@ class Group {
   [[nodiscard]] const View& view() const { return view_; }
   void set_view(View v) { view_ = std::move(v); }
 
-  [[nodiscard]] bool destroyed() const { return destroyed_; }
-  void mark_destroyed() { destroyed_ = true; }
+  // destroyed_ is the one flag crossing threads under a sharded runtime:
+  // set on the application thread, checked at the head of every task on the
+  // group's shard. All other Group state (view, layer state slots) is only
+  // ever touched inside the group's own serialized tasks -- the group
+  // object is the monitor (Section 3), which is exactly why per-layer locks
+  // are unnecessary.
+  [[nodiscard]] bool destroyed() const {
+    return destroyed_.load(std::memory_order_acquire);
+  }
+  void mark_destroyed() { destroyed_.store(true, std::memory_order_release); }
 
   /// Layer state slots, indexed by layer position in the stack.
   std::vector<std::unique_ptr<LayerState>>& states() { return states_; }
@@ -44,7 +53,7 @@ class Group {
   GroupId gid_;
   Stack* stack_;
   View view_;
-  bool destroyed_ = false;
+  std::atomic<bool> destroyed_{false};
   std::vector<std::unique_ptr<LayerState>> states_;
 };
 

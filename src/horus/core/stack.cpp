@@ -120,10 +120,15 @@ std::size_t Stack::region_bytes() const {
   return cfg_.codec == HeaderCodec::kCompact ? layout_.byte_size() : 0;
 }
 
+// All three entry points (downcalls, datagrams, timers) post with the
+// group's key: the group object -- not the stack -- is the unit of mutual
+// exclusion (Section 3), so a sharded executor can run independent groups
+// on different cores while everything for one group stays serialized.
+
 void Stack::down(Group& g, DownEvent ev) {
-  ++stats_.downcalls;
+  stats_.downcalls.fetch_add(1, std::memory_order_relaxed);
   GroupId gid = g.gid();
-  exec_.post([this, gid, ev = std::move(ev)]() mutable {
+  exec_.post(gid.id, [this, gid, ev = std::move(ev)]() mutable {
     if (owner_->crashed()) return;
     Group* grp = owner_->find_group(gid);
     if (grp == nullptr || grp->destroyed()) return;
@@ -133,8 +138,8 @@ void Stack::down(Group& g, DownEvent ev) {
 
 void Stack::deliver_datagram(Address src, GroupId gid,
                              std::shared_ptr<const Bytes> datagram) {
-  ++stats_.datagrams_received;
-  exec_.post([this, src, gid, datagram = std::move(datagram)]() {
+  stats_.datagrams_received.fetch_add(1, std::memory_order_relaxed);
+  exec_.post(gid.id, [this, src, gid, datagram = std::move(datagram)]() {
     if (owner_->crashed()) return;
     Group* g = owner_->find_group(gid);
     if (g == nullptr || g->destroyed()) return;
@@ -181,7 +186,7 @@ void Stack::forward_up(std::size_t from_index, Group& g, UpEvent& ev) {
 }
 
 void Stack::app_up(Group& g, UpEvent& ev) {
-  ++stats_.upcalls_to_app;
+  stats_.upcalls_to_app.fetch_add(1, std::memory_order_relaxed);
   owner_->deliver_app_upcall(g, ev);
 }
 
@@ -194,10 +199,11 @@ void Stack::transport_send(Address dst, const Message& msg) {
 
 void Stack::transport_send_raw(Address dst, ByteSpan wire,
                                std::size_t payload_size) {
-  ++stats_.datagrams_sent;
-  stats_.wire_bytes_sent += wire.size();
-  stats_.payload_bytes_sent += payload_size;
-  stats_.header_bytes_sent += wire.size() - payload_size;
+  stats_.datagrams_sent.fetch_add(1, std::memory_order_relaxed);
+  stats_.wire_bytes_sent.fetch_add(wire.size(), std::memory_order_relaxed);
+  stats_.payload_bytes_sent.fetch_add(payload_size, std::memory_order_relaxed);
+  stats_.header_bytes_sent.fetch_add(wire.size() - payload_size,
+                                     std::memory_order_relaxed);
   transport_.send(address(), dst, wire);
 }
 
@@ -310,7 +316,7 @@ Bytes Stack::region_prefix(const Message& m, const Layer& layer) const {
 sim::TimerId Stack::schedule(GroupId gid, sim::Duration d,
                              std::function<void(Group&)> fn) {
   return sched_.schedule(d, [this, gid, fn = std::move(fn)]() {
-    exec_.post([this, gid, fn]() {
+    exec_.post(gid.id, [this, gid, fn]() {
       if (owner_->crashed()) return;
       Group* g = owner_->find_group(gid);
       if (g == nullptr || g->destroyed()) return;

@@ -9,6 +9,7 @@
 //  application sink above.
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <functional>
 #include <memory>
@@ -90,15 +91,22 @@ class Transport {
   virtual void send(Address src, Address dst, ByteSpan datagram) = 0;
 };
 
-/// Counters for benches and tests.
+/// Counters for benches and tests. Atomics: under a ShardedExecutor every
+/// shard thread bumps them concurrently, and the hot path must not take a
+/// lock for a counter (relaxed increments only).
 struct StackStats {
-  std::uint64_t downcalls = 0;
-  std::uint64_t upcalls_to_app = 0;
-  std::uint64_t datagrams_sent = 0;
-  std::uint64_t datagrams_received = 0;
-  std::uint64_t wire_bytes_sent = 0;
-  std::uint64_t header_bytes_sent = 0;
-  std::uint64_t payload_bytes_sent = 0;
+  std::atomic<std::uint64_t> downcalls{0};
+  std::atomic<std::uint64_t> upcalls_to_app{0};
+  std::atomic<std::uint64_t> datagrams_sent{0};
+  std::atomic<std::uint64_t> datagrams_received{0};
+  std::atomic<std::uint64_t> wire_bytes_sent{0};
+  std::atomic<std::uint64_t> header_bytes_sent{0};
+  std::atomic<std::uint64_t> payload_bytes_sent{0};
+
+  void reset() {
+    downcalls = upcalls_to_app = datagrams_sent = datagrams_received = 0;
+    wire_bytes_sent = header_bytes_sent = payload_bytes_sent = 0;
+  }
 };
 
 /// Decoded fixed fields + variable extension of one layer's header.
@@ -210,7 +218,7 @@ class Stack {
   [[nodiscard]] Layer* find_layer(const std::string& name) const;
   [[nodiscard]] props::PropertySet provided_properties() const { return provided_; }
   [[nodiscard]] const StackStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = StackStats{}; }
+  void reset_stats() { stats_.reset(); }
   /// The focus/dump downcalls of Table 1: textual state of one layer.
   [[nodiscard]] std::string dump(Group& g, const std::string& layer_name) const;
 

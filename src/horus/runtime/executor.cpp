@@ -3,17 +3,60 @@
 #include <utility>
 
 namespace horus::runtime {
+namespace {
+
+/// Clears a drain flag even when a task throws. Without this a throwing
+/// task leaves running_ latched and every later post queues forever behind
+/// a drain loop that no longer exists.
+struct RunningGuard {
+  explicit RunningGuard(bool& flag) : flag_(flag) { flag_ = true; }
+  ~RunningGuard() { flag_ = false; }
+  RunningGuard(const RunningGuard&) = delete;
+  RunningGuard& operator=(const RunningGuard&) = delete;
+
+ private:
+  bool& flag_;
+};
+
+/// SplitMix64 finalizer: group ids are typically small sequential integers,
+/// so they need real mixing before the modulo or all groups land on a few
+/// shards.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
 
 void MonitorExecutor::post(Task t) {
   queue_.push_back(std::move(t));
   if (running_) return;  // the draining frame below us will pick it up
-  running_ = true;
+  RunningGuard guard(running_);
   while (!queue_.empty()) {
     Task task = std::move(queue_.front());
     queue_.pop_front();
-    task();
+    task();  // may throw: guard unlatches running_, the rest stay queued
   }
-  running_ = false;
+}
+
+void GroupExecutor::post(GroupKey key, Task t) {
+  groups_[key].push_back(std::move(t));
+  order_.push_back(key);
+  if (running_) return;
+  RunningGuard guard(running_);
+  while (!order_.empty()) {
+    GroupKey k = order_.front();
+    order_.pop_front();
+    auto it = groups_.find(k);
+    std::deque<Task>& q = it->second;
+    Task task = std::move(q.front());
+    q.pop_front();
+    if (q.empty()) groups_.erase(it);  // keep the map from growing unbounded
+    ++executed_;
+    task();  // may throw: guard unlatches running_, the rest stay queued
+  }
 }
 
 void SequencedExecutor::post(Task t) {
@@ -29,7 +72,15 @@ void SequencedExecutor::post(Task t) {
     pending_.erase(it);
     ++next_to_run_;
     lock.unlock();
-    task();
+    try {
+      task();
+    } catch (...) {
+      // Re-latch under the lock so a throwing task cannot wedge the queue;
+      // later posts resume from next_to_run_.
+      lock.lock();
+      running_ = false;
+      throw;
+    }
     lock.lock();
   }
   running_ = false;
@@ -89,6 +140,78 @@ void ThreadPoolExecutor::worker() {
       std::lock_guard lock(mu_);
       --active_;
       if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+ShardedExecutor::ShardedExecutor(unsigned shards) {
+  if (shards == 0) shards = 1;
+  shards_.reserve(shards);
+  for (unsigned i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  // Start workers only after the vector is fully built: workers never touch
+  // shards_ itself, but post() from another thread may already be hashing.
+  for (auto& s : shards_) {
+    s->thread = std::thread([this, sp = s.get()] { worker(*sp); });
+  }
+}
+
+ShardedExecutor::~ShardedExecutor() {
+  for (auto& s : shards_) {
+    {
+      std::lock_guard lock(s->mu);
+      s->stop = true;
+    }
+    s->cv.notify_all();
+  }
+  // Workers finish their remaining queue before exiting, so queued work is
+  // completed, not dropped.
+  for (auto& s : shards_) s->thread.join();
+}
+
+unsigned ShardedExecutor::shard_of(GroupKey key) const {
+  return static_cast<unsigned>(mix(key) % shards_.size());
+}
+
+void ShardedExecutor::post(GroupKey key, Task t) {
+  Shard& s = *shards_[shard_of(key)];
+  inflight_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(s.mu);
+    s.q.push_back(std::move(t));
+  }
+  s.cv.notify_one();
+}
+
+void ShardedExecutor::drain() {
+  std::unique_lock lock(idle_mu_);
+  idle_cv_.wait(lock, [this] {
+    return inflight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void ShardedExecutor::worker(Shard& s) {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lock(s.mu);
+      s.cv.wait(lock, [&s] { return s.stop || !s.q.empty(); });
+      if (s.q.empty()) return;  // stop requested and queue fully drained
+      task = std::move(s.q.front());
+      s.q.pop_front();
+    }
+    try {
+      task();
+    } catch (...) {
+      exceptions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Destroy captured state (messages, buffers) before declaring the task
+    // finished, so drain() returning implies all task side effects are done.
+    task = nullptr;
+    if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard lock(idle_mu_);
+      idle_cv_.notify_all();
     }
   }
 }

@@ -10,28 +10,53 @@
 //                         thread at a time to be active for each group
 //                         object": a run-to-completion event queue. This is
 //                         also the paper's non-threaded "event queue model"
-//                         (one scheduling thread per stack), and is the
-//                         default execution model in this implementation.
+//                         (one scheduling thread per stack).
 //  * SequencedExecutor -- the event-counter scheme: every posted task gets
 //                         a sequence number and tasks execute in sequence
 //                         order even if posted from multiple threads.
 //  * ThreadPoolExecutor-- real kernel threads with a per-stack mutex, used
 //                         by bench_exec_models to measure what intra-stack
 //                         threading actually costs.
+//
+// The paper's monitor is per *group object*, not per stack -- two groups on
+// one stack are independent monitors and may progress concurrently. Two
+// executors realize that reading:
+//
+//  * GroupExecutor     -- the deterministic facade (the default): every
+//                         task is routed through a per-group run-to-
+//                         completion queue, drained by the calling thread
+//                         in global FIFO order. Dispatch order is
+//                         bit-identical to MonitorExecutor, so simulated
+//                         worlds stay reproducible.
+//  * ShardedExecutor   -- the parallel runtime: groups hash onto N worker
+//                         shards, each an MPSC run queue drained by one
+//                         kernel thread. One thread at a time is active per
+//                         group (its shard's), so layer code still needs no
+//                         locks -- Section 10's lesson -- while independent
+//                         groups use as many cores as there are shards.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 namespace horus::runtime {
 
 using Task = std::function<void()>;
+
+/// Identity of the paper's unit of mutual exclusion: the group object.
+/// Stacks pass the group id; tasks not bound to any group use kNoGroup
+/// (they serialize with group 0's shard, which is always valid).
+using GroupKey = std::uint64_t;
+constexpr GroupKey kNoGroup = 0;
 
 /// Abstract execution model: how work enters a protocol stack.
 class Executor {
@@ -39,6 +64,12 @@ class Executor {
   virtual ~Executor() = default;
   /// Submit a task. Depending on the model it may run before post returns.
   virtual void post(Task t) = 0;
+  /// Submit a task bound to a group, the unit of mutual exclusion
+  /// (Section 3). Models that do not shard ignore the key.
+  virtual void post(GroupKey key, Task t) {
+    (void)key;
+    post(std::move(t));
+  }
   /// Run until no queued work remains (no-op for inline/threaded models
   /// that do not queue).
   virtual void drain() {}
@@ -47,6 +78,7 @@ class Executor {
 /// Direct calls; tasks run immediately and may re-enter the stack.
 class InlineExecutor final : public Executor {
  public:
+  using Executor::post;
   void post(Task t) override { t(); }
 };
 
@@ -55,6 +87,7 @@ class InlineExecutor final : public Executor {
 /// which is the monitor semantics the paper recommends.
 class MonitorExecutor final : public Executor {
  public:
+  using Executor::post;
   void post(Task t) override;
 
  private:
@@ -62,10 +95,40 @@ class MonitorExecutor final : public Executor {
   bool running_ = false;
 };
 
+/// The per-group monitor facade (Section 3 read literally: "one thread at a
+/// time ... active for each group object"). Single-threaded and
+/// deterministic: each group owns a run-to-completion queue, and the
+/// calling thread drains them in global FIFO post order, so the observable
+/// schedule is bit-identical to MonitorExecutor while the bookkeeping keeps
+/// groups separate (per-group depth, ready-group rotation). This is the
+/// default executor for endpoints; ShardedExecutor is its parallel twin.
+class GroupExecutor final : public Executor {
+ public:
+  void post(Task t) override { post(kNoGroup, std::move(t)); }
+  void post(GroupKey key, Task t) override;
+
+  /// Queued (not yet started) tasks across all groups / for one group.
+  [[nodiscard]] std::size_t pending() const { return order_.size(); }
+  [[nodiscard]] std::size_t pending(GroupKey key) const {
+    auto it = groups_.find(key);
+    return it != groups_.end() ? it->second.size() : 0;
+  }
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  // Per-group FIFO queues plus the global post-order ticket list that fixes
+  // the (deterministic) dispatch order across groups.
+  std::unordered_map<GroupKey, std::deque<Task>> groups_;
+  std::deque<GroupKey> order_;
+  std::uint64_t executed_ = 0;
+  bool running_ = false;
+};
+
 /// Event-counter model: tasks carry sequence numbers assigned at post time
 /// and execute strictly in sequence order. Thread-safe.
 class SequencedExecutor final : public Executor {
  public:
+  using Executor::post;
   void post(Task t) override;
   void drain() override;
 
@@ -81,6 +144,7 @@ class SequencedExecutor final : public Executor {
 /// measure the cost of intra-stack threading (Section 10 problem 2).
 class ThreadPoolExecutor final : public Executor {
  public:
+  using Executor::post;
   explicit ThreadPoolExecutor(unsigned threads = 2);
   ~ThreadPoolExecutor() override;
   ThreadPoolExecutor(const ThreadPoolExecutor&) = delete;
@@ -100,6 +164,56 @@ class ThreadPoolExecutor final : public Executor {
   std::mutex stack_mu_;  // the per-stack lock the paper talks about
   unsigned active_ = 0;
   bool stop_ = false;
+};
+
+/// The sharded runtime: groups hash onto N shards, each an MPSC run queue
+/// drained by one kernel thread. All tasks for a group land on the same
+/// shard FIFO, so per-group run-to-completion and per-group posting order
+/// are preserved with no per-layer locks, while distinct groups on
+/// different shards run genuinely in parallel.
+///
+/// The destructor finishes all queued work before joining the workers. A
+/// task that throws is counted (task_exceptions()) and the worker carries
+/// on; tasks must not assume exceptions propagate to the poster.
+class ShardedExecutor final : public Executor {
+ public:
+  explicit ShardedExecutor(unsigned shards);
+  ~ShardedExecutor() override;
+  ShardedExecutor(const ShardedExecutor&) = delete;
+  ShardedExecutor& operator=(const ShardedExecutor&) = delete;
+
+  void post(Task t) override { post(kNoGroup, std::move(t)); }
+  void post(GroupKey key, Task t) override;
+  /// Block until every posted task (including tasks posted by tasks) has
+  /// finished. Callable from any thread that is not a shard worker.
+  void drain() override;
+
+  [[nodiscard]] unsigned shards() const {
+    return static_cast<unsigned>(shards_.size());
+  }
+  /// Which shard a group is pinned to (stable for the executor's lifetime).
+  [[nodiscard]] unsigned shard_of(GroupKey key) const;
+  /// Tasks that terminated by exception (they are swallowed, not rethrown).
+  [[nodiscard]] std::uint64_t task_exceptions() const {
+    return exceptions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Task> q;
+    bool stop = false;
+    std::thread thread;
+  };
+
+  void worker(Shard& s);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> inflight_{0};
+  std::atomic<std::uint64_t> exceptions_{0};
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
 };
 
 }  // namespace horus::runtime

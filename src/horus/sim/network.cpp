@@ -15,14 +15,17 @@ bool SimNetwork::is_attached(NodeId node) const {
 }
 
 void SimNetwork::set_link_params(NodeId src, NodeId dst, const LinkParams& p) {
+  std::lock_guard lock(mu_);
   link_params_[{src, dst}] = p;
 }
 
 void SimNetwork::clear_link_params(NodeId src, NodeId dst) {
+  std::lock_guard lock(mu_);
   link_params_.erase({src, dst});
 }
 
 void SimNetwork::set_partitions(const std::vector<std::vector<NodeId>>& cells) {
+  std::lock_guard lock(mu_);
   cell_of_.clear();
   partitioned_ = !cells.empty();
   int idx = 0;
@@ -33,6 +36,11 @@ void SimNetwork::set_partitions(const std::vector<std::vector<NodeId>>& cells) {
 }
 
 bool SimNetwork::can_reach(NodeId a, NodeId b) const {
+  std::lock_guard lock(mu_);
+  return can_reach_locked(a, b);
+}
+
+bool SimNetwork::can_reach_locked(NodeId a, NodeId b) const {
   if (!partitioned_) return true;
   auto ia = cell_of_.find(a);
   auto ib = cell_of_.find(b);
@@ -40,25 +48,29 @@ bool SimNetwork::can_reach(NodeId a, NodeId b) const {
   return ia->second == ib->second;
 }
 
-const LinkParams& SimNetwork::params_for(NodeId src, NodeId dst) const {
+const LinkParams& SimNetwork::params_for_locked(NodeId src, NodeId dst) const {
   auto it = link_params_.find({src, dst});
   return it != link_params_.end() ? it->second : default_params_;
 }
 
 void SimNetwork::send(NodeId src, NodeId dst, ByteSpan data) {
-  ++stats_.sent;
-  stats_.bytes_sent += data.size();
-  const LinkParams& p = params_for(src, dst);
+  stats_.sent.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_sent.fetch_add(data.size(), std::memory_order_relaxed);
+  // One lock for the whole decision: link params, partition state and the
+  // RNG draws must stay coherent (and in a fixed draw order, for
+  // determinism) even when many shards send at once.
+  std::lock_guard lock(mu_);
+  const LinkParams& p = params_for_locked(src, dst);
   if (data.size() > p.mtu) {
-    ++stats_.dropped_mtu;
+    stats_.dropped_mtu.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  if (!can_reach(src, dst)) {
-    ++stats_.dropped_partition;
+  if (!can_reach_locked(src, dst)) {
+    stats_.dropped_partition.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   if (rng_.chance(p.loss)) {
-    ++stats_.dropped_loss;
+    stats_.dropped_loss.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   // The one copy on the receive path (the simulated NIC writing into a
@@ -66,7 +78,7 @@ void SimNetwork::send(NodeId src, NodeId dst, ByteSpan data) {
   // included -- shares it from here on.
   Bytes copy(data.begin(), data.end());
   if (rng_.chance(p.corrupt) && !copy.empty()) {
-    ++stats_.corrupted;
+    stats_.corrupted.fetch_add(1, std::memory_order_relaxed);
     // Flip 1-4 random bytes.
     std::uint64_t flips = 1 + rng_.next_below(4);
     for (std::uint64_t i = 0; i < flips; ++i) {
@@ -76,32 +88,35 @@ void SimNetwork::send(NodeId src, NodeId dst, ByteSpan data) {
   }
   auto shared = std::make_shared<const Bytes>(std::move(copy));
   if (rng_.chance(p.duplicate)) {
-    ++stats_.duplicated;
-    deliver_later(src, dst, shared, p);
+    stats_.duplicated.fetch_add(1, std::memory_order_relaxed);
+    deliver_later_locked(src, dst, shared, p);
   }
-  deliver_later(src, dst, std::move(shared), p);
+  deliver_later_locked(src, dst, std::move(shared), p);
 }
 
-void SimNetwork::deliver_later(NodeId src, NodeId dst,
-                               std::shared_ptr<const Bytes> data,
-                               const LinkParams& p) {
+void SimNetwork::deliver_later_locked(NodeId src, NodeId dst,
+                                      std::shared_ptr<const Bytes> data,
+                                      const LinkParams& p) {
   Duration jitter = p.delay_max > p.delay_min
                         ? rng_.next_below(p.delay_max - p.delay_min)
                         : 0;
   Duration delay = p.delay_min + jitter;
   sched_.schedule(delay, [this, src, dst, data = std::move(data)]() {
+    // Runs on the driver thread. handlers_ is confined to it; partition
+    // state is shared, so check it under the lock but call the handler
+    // outside (the receive path re-enters send()).
     auto it = handlers_.find(dst);
     if (it == handlers_.end()) {
-      ++stats_.dropped_crashed;
+      stats_.dropped_crashed.fetch_add(1, std::memory_order_relaxed);
       return;
     }
     // Partition state is evaluated at delivery time too: a datagram in
     // flight when the partition forms does not cross it.
     if (!can_reach(src, dst)) {
-      ++stats_.dropped_partition;
+      stats_.dropped_partition.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    ++stats_.delivered;
+    stats_.delivered.fetch_add(1, std::memory_order_relaxed);
     it->second(src, data);
   });
 }

@@ -11,10 +11,12 @@
 // is deterministic given the seed.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -37,17 +39,24 @@ struct LinkParams {
   std::size_t mtu = 1400;   ///< datagrams larger than this are dropped
 };
 
-/// Counters for observability and the benchmark harness.
+/// Counters for observability and the benchmark harness. Atomics: sends
+/// arrive from every executor shard concurrently, and counting must not
+/// serialize them (ISSUE: atomics, not locks, on the hot path).
 struct NetStats {
-  std::uint64_t sent = 0;
-  std::uint64_t delivered = 0;
-  std::uint64_t dropped_loss = 0;
-  std::uint64_t dropped_partition = 0;
-  std::uint64_t dropped_crashed = 0;
-  std::uint64_t dropped_mtu = 0;
-  std::uint64_t duplicated = 0;
-  std::uint64_t corrupted = 0;
-  std::uint64_t bytes_sent = 0;
+  std::atomic<std::uint64_t> sent{0};
+  std::atomic<std::uint64_t> delivered{0};
+  std::atomic<std::uint64_t> dropped_loss{0};
+  std::atomic<std::uint64_t> dropped_partition{0};
+  std::atomic<std::uint64_t> dropped_crashed{0};
+  std::atomic<std::uint64_t> dropped_mtu{0};
+  std::atomic<std::uint64_t> duplicated{0};
+  std::atomic<std::uint64_t> corrupted{0};
+  std::atomic<std::uint64_t> bytes_sent{0};
+
+  void reset() {
+    sent = delivered = dropped_loss = dropped_partition = 0;
+    dropped_crashed = dropped_mtu = duplicated = corrupted = bytes_sent = 0;
+  }
 };
 
 class SimNetwork {
@@ -89,16 +98,23 @@ class SimNetwork {
   [[nodiscard]] bool can_reach(NodeId a, NodeId b) const;
 
   [[nodiscard]] const NetStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = NetStats{}; }
+  void reset_stats() { stats_.reset(); }
 
   [[nodiscard]] Scheduler& scheduler() { return sched_; }
 
  private:
-  const LinkParams& params_for(NodeId src, NodeId dst) const;
-  void deliver_later(NodeId src, NodeId dst, std::shared_ptr<const Bytes> data,
-                     const LinkParams& p);
+  const LinkParams& params_for_locked(NodeId src, NodeId dst) const;
+  bool can_reach_locked(NodeId a, NodeId b) const;
+  void deliver_later_locked(NodeId src, NodeId dst,
+                            std::shared_ptr<const Bytes> data,
+                            const LinkParams& p);
 
   Scheduler& sched_;
+  // mu_ guards the RNG, link parameters and partition state: send() runs on
+  // executor shard threads while the driver thread reconfigures the world.
+  // handlers_ is confined to the driver thread (attach/crash and deliveries
+  // all happen there), so handler invocation never holds the lock.
+  mutable std::mutex mu_;
   Rng rng_;
   LinkParams default_params_;
   std::unordered_map<NodeId, Handler> handlers_;

@@ -2,11 +2,25 @@
 // Horus world built for the simulator can execute "live" (examples, demos,
 // soak tests). Virtual microseconds map 1:1 to real microseconds, scaled
 // by an optional time factor.
+//
+// Instead of busy-polling, the driver asks the scheduler when the next
+// event is due and sleeps until that moment (capped by max_sleep so it
+// stays responsive to timers posted from other threads). An idle stack
+// therefore costs a handful of wakeups per second, not a spinning core.
+//
+// Multi-shard mode: pass the endpoints' ShardedExecutor(s). Scheduler
+// events (timer fires, simulated deliveries) then merely enqueue protocol
+// work onto the shards, whose worker threads run it in parallel while this
+// driver thread keeps pumping the clock; run_for() drains the executors
+// before returning so all protocol work implied by the run has finished.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
+#include <vector>
 
+#include "horus/runtime/executor.hpp"
 #include "horus/sim/scheduler.hpp"
 
 namespace horus::sim {
@@ -17,31 +31,63 @@ class RealTimeDriver {
   explicit RealTimeDriver(Scheduler& sched, double time_factor = 1.0)
       : sched_(&sched), factor_(time_factor > 0 ? time_factor : 1.0) {}
 
+  /// Multi-shard mode: the driver drains `exec` at the end of each run so
+  /// work handed to shard threads completes within the run's budget.
+  RealTimeDriver(Scheduler& sched, double time_factor,
+                 runtime::Executor& exec)
+      : RealTimeDriver(sched, time_factor) {
+    add_executor(exec);
+  }
+
+  /// Register a (sharded) executor to drain at the end of each run_for.
+  /// One per endpoint in multi-endpoint worlds.
+  void add_executor(runtime::Executor& exec) { execs_.push_back(&exec); }
+
+  /// Longest single sleep. New timers can be scheduled from shard threads
+  /// while the driver sleeps; the cap bounds how late they can fire.
+  void set_max_sleep(std::chrono::microseconds cap) {
+    if (cap.count() > 0) max_sleep_ = cap;
+  }
+
   /// Run for `real_duration` of wall-clock time, executing events at the
   /// moments their virtual timestamps come due. Returns events executed.
   std::size_t run_for(std::chrono::milliseconds real_duration) {
     using Clock = std::chrono::steady_clock;
-    auto start_real = Clock::now();
-    Time start_virtual = sched_->now();
+    const auto start_real = Clock::now();
+    const auto end_real = start_real + real_duration;
+    const Time start_virtual = sched_->now();
     std::size_t executed = 0;
     for (;;) {
-      auto elapsed_real = Clock::now() - start_real;
-      if (elapsed_real >= real_duration) break;
-      auto elapsed_us =
-          std::chrono::duration_cast<std::chrono::microseconds>(elapsed_real);
+      auto now_real = Clock::now();
+      if (now_real >= end_real) break;
+      auto elapsed_us = std::chrono::duration_cast<std::chrono::microseconds>(
+          now_real - start_real);
       Time due = start_virtual +
                  static_cast<Time>(static_cast<double>(elapsed_us.count()) *
                                    factor_);
       executed += sched_->run_until(due);
-      // Sleep briefly until more virtual time comes due.
-      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      // Sleep until the next event's wall-clock due time (or the end of the
+      // run), capped so timers posted meanwhile from shard threads are not
+      // left waiting longer than max_sleep.
+      auto wake = end_real;
+      if (std::optional<Time> next = sched_->next_due()) {
+        if (*next <= sched_->now()) continue;  // due already: no sleep
+        auto virt_us = static_cast<double>(*next - start_virtual) / factor_;
+        wake = std::min(wake, start_real + std::chrono::microseconds(
+                                  static_cast<std::int64_t>(virt_us) + 1));
+      }
+      wake = std::min(wake, Clock::now() + max_sleep_);
+      std::this_thread::sleep_until(wake);
     }
+    for (runtime::Executor* e : execs_) e->drain();
     return executed;
   }
 
  private:
   Scheduler* sched_;
   double factor_;
+  std::vector<runtime::Executor*> execs_;
+  std::chrono::microseconds max_sleep_{2000};
 };
 
 }  // namespace horus::sim

@@ -5,34 +5,54 @@
 namespace horus::sim {
 
 TimerId Scheduler::schedule(Duration delay, std::function<void()> fn) {
+  std::lock_guard lock(mu_);
   TimerId id = next_id_++;
-  queue_.push(Event{now_ + delay, next_seq_++, id, std::move(fn)});
+  queue_.push(Event{now() + delay, next_seq_++, id, std::move(fn)});
   return id;
 }
 
-void Scheduler::cancel(TimerId id) { cancelled_.insert(id); }
+void Scheduler::cancel(TimerId id) {
+  std::lock_guard lock(mu_);
+  cancelled_.insert(id);
+}
 
-bool Scheduler::pop_one(Event& out) {
+void Scheduler::prune_cancelled_locked() const {
   while (!queue_.empty()) {
-    // priority_queue::top returns const&; we need to move the closure out.
-    out = std::move(const_cast<Event&>(queue_.top()));
+    auto it = cancelled_.find(queue_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
     queue_.pop();
-    auto it = cancelled_.find(out.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    return true;
   }
-  return false;
+}
+
+bool Scheduler::pop_one_locked(Event& out) {
+  prune_cancelled_locked();
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; we need to move the closure out.
+  out = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  return true;
+}
+
+std::optional<Time> Scheduler::next_due() const {
+  std::lock_guard lock(mu_);
+  prune_cancelled_locked();
+  if (queue_.empty()) return std::nullopt;
+  return queue_.top().at;
 }
 
 std::size_t Scheduler::run() {
   std::size_t n = 0;
   Event ev;
-  while (pop_one(ev)) {
-    now_ = ev.at;
+  for (;;) {
+    {
+      std::lock_guard lock(mu_);
+      if (!pop_one_locked(ev)) break;
+      now_.store(ev.at, std::memory_order_relaxed);
+    }
+    // Outside the lock: the closure may re-enter schedule/cancel.
     ev.fn();
+    ev.fn = nullptr;
     ++n;
   }
   return n;
@@ -41,25 +61,30 @@ std::size_t Scheduler::run() {
 std::size_t Scheduler::run_until(Time deadline) {
   std::size_t n = 0;
   Event ev;
-  while (!queue_.empty() && queue_.top().at <= deadline) {
-    if (!pop_one(ev)) break;
-    if (ev.at > deadline) {
-      // Lost race with cancellation cleanup; put it back.
-      queue_.push(std::move(ev));
-      break;
+  for (;;) {
+    {
+      std::lock_guard lock(mu_);
+      prune_cancelled_locked();
+      if (queue_.empty() || queue_.top().at > deadline) break;
+      ev = std::move(const_cast<Event&>(queue_.top()));
+      queue_.pop();
+      now_.store(ev.at, std::memory_order_relaxed);
     }
-    now_ = ev.at;
     ev.fn();
+    ev.fn = nullptr;
     ++n;
   }
-  if (now_ < deadline) now_ = deadline;
+  if (now() < deadline) now_.store(deadline, std::memory_order_relaxed);
   return n;
 }
 
 bool Scheduler::step() {
   Event ev;
-  if (!pop_one(ev)) return false;
-  now_ = ev.at;
+  {
+    std::lock_guard lock(mu_);
+    if (!pop_one_locked(ev)) return false;
+    now_.store(ev.at, std::memory_order_relaxed);
+  }
   ev.fn();
   return true;
 }

@@ -9,10 +9,20 @@
 // Time is in microseconds. Events at equal times fire in scheduling order
 // (a monotonically increasing tiebreak sequence), so the simulation is
 // deterministic even with many simultaneous events.
+//
+// Thread safety: schedule/cancel/now/next_due may be called from any thread
+// (layer code runs on ShardedExecutor workers while the driver thread runs
+// the queue). The run methods themselves must stay on one driver thread;
+// event closures execute outside the internal lock, so they may freely
+// re-enter schedule/cancel. The lock adds no ordering of its own, so
+// single-threaded runs are bit-identical to the unlocked implementation.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
+#include <optional>
 #include <queue>
 #include <unordered_set>
 #include <vector>
@@ -37,7 +47,9 @@ class Scheduler {
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
-  [[nodiscard]] Time now() const { return now_; }
+  [[nodiscard]] Time now() const {
+    return now_.load(std::memory_order_relaxed);
+  }
 
   /// Schedule `fn` to run at now() + delay. Returns a cancellable id.
   TimerId schedule(Duration delay, std::function<void()> fn);
@@ -52,13 +64,24 @@ class Scheduler {
   std::size_t run_until(Time deadline);
 
   /// Run for a relative duration from current now().
-  std::size_t run_for(Duration d) { return run_until(now_ + d); }
+  std::size_t run_for(Duration d) { return run_until(now() + d); }
 
   /// Run at most one event; returns false if the queue is empty.
   bool step();
 
-  [[nodiscard]] bool empty() const { return queue_.size() == cancelled_.size(); }
-  [[nodiscard]] std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+  /// Timestamp of the earliest pending (non-cancelled) event, if any. Lets
+  /// real-time drivers sleep precisely until work is due instead of
+  /// busy-polling.
+  [[nodiscard]] std::optional<Time> next_due() const;
+
+  [[nodiscard]] bool empty() const {
+    std::lock_guard lock(mu_);
+    return queue_.size() == cancelled_.size();
+  }
+  [[nodiscard]] std::size_t pending() const {
+    std::lock_guard lock(mu_);
+    return queue_.size() - cancelled_.size();
+  }
 
  private:
   struct Event {
@@ -74,13 +97,18 @@ class Scheduler {
     }
   };
 
-  bool pop_one(Event& out);
+  /// Drop cancelled events sitting at the head of the queue (so top() is
+  /// always a live event). Caller holds mu_.
+  void prune_cancelled_locked() const;
+  /// Pop the earliest live event into `out`. Caller holds mu_.
+  bool pop_one_locked(Event& out);
 
-  Time now_ = 0;
+  mutable std::mutex mu_;
+  std::atomic<Time> now_{0};
   std::uint64_t next_seq_ = 0;
   TimerId next_id_ = 1;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<TimerId> cancelled_;
+  mutable std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  mutable std::unordered_set<TimerId> cancelled_;
 };
 
 }  // namespace horus::sim

@@ -173,7 +173,7 @@ TEST(Compress, SavesWireBytesOnCompressibleData) {
     w.eps[0]->stack().reset_stats();
     w.eps[0]->cast(kGroup, Message::from_payload(to_bytes(body)));
     w.sys.run_for(2 * sim::kSecond);
-    return w.eps[0]->stack().stats().wire_bytes_sent;
+    return w.eps[0]->stack().stats().wire_bytes_sent.load();
   };
   std::uint64_t with = wire_bytes("COMPRESS:FRAG:NAK:COM");
   std::uint64_t without = wire_bytes("FRAG:NAK:COM");

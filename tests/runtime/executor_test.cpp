@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <set>
+#include <stdexcept>
 #include <vector>
 
 namespace horus::runtime {
@@ -59,6 +61,71 @@ TEST(MonitorExecutor, FifoOrder) {
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
+TEST(MonitorExecutor, ThrowingTaskDoesNotWedgeTheQueue) {
+  // Regression: a throwing task used to leave running_ latched forever, so
+  // every later post queued behind a drain loop that no longer existed.
+  MonitorExecutor ex;
+  EXPECT_THROW(ex.post([] { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  int ran = 0;
+  ex.post([&] { ++ran; });
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(MonitorExecutor, TasksQueuedBehindThrowerSurvive) {
+  MonitorExecutor ex;
+  std::vector<int> order;
+  EXPECT_THROW(ex.post([&] {
+    ex.post([&] { order.push_back(1); });  // queued behind the thrower
+    throw std::runtime_error("boom");
+  }),
+               std::runtime_error);
+  EXPECT_TRUE(order.empty());  // drain aborted by the throw
+  ex.post([&] { order.push_back(2); });  // resumes: old task first, FIFO
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(GroupExecutor, RunToCompletionMatchesMonitorOrder) {
+  // The facade must be bit-identical to MonitorExecutor in dispatch order:
+  // deterministic sim tests depend on it.
+  GroupExecutor ex;
+  std::vector<int> order;
+  ex.post(7, [&] {
+    order.push_back(1);
+    ex.post(9, [&] { order.push_back(2); });
+    ex.post(7, [&] { order.push_back(3); });
+    order.push_back(4);
+  });
+  EXPECT_EQ(order, (std::vector<int>{1, 4, 2, 3}));
+  EXPECT_EQ(ex.executed(), 3u);
+  EXPECT_EQ(ex.pending(), 0u);
+}
+
+TEST(GroupExecutor, TracksPerGroupQueues) {
+  GroupExecutor ex;
+  std::size_t seen_g1 = 0;
+  std::size_t seen_g2 = 0;
+  ex.post(1, [&] {
+    ex.post(1, [] {});
+    ex.post(2, [] {});
+    ex.post(2, [] {});
+    seen_g1 = ex.pending(1);
+    seen_g2 = ex.pending(2);
+  });
+  EXPECT_EQ(seen_g1, 1u);
+  EXPECT_EQ(seen_g2, 2u);
+  EXPECT_EQ(ex.pending(), 0u);
+}
+
+TEST(GroupExecutor, ThrowingTaskDoesNotWedgeTheQueue) {
+  GroupExecutor ex;
+  EXPECT_THROW(ex.post(5, [] { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  int ran = 0;
+  ex.post(5, [&] { ++ran; });
+  EXPECT_EQ(ran, 1);
+}
+
 TEST(SequencedExecutor, ExecutesInTicketOrder) {
   SequencedExecutor ex;
   std::vector<int> order;
@@ -85,6 +152,18 @@ TEST(SequencedExecutor, ThreadSafePosting) {
   for (auto& t : threads) t.join();
   ex.drain();
   EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(SequencedExecutor, ThrowingTaskDoesNotWedgeTheQueue) {
+  // Regression: same latch bug as MonitorExecutor, but running_ lives
+  // behind a mutex and the task runs unlocked.
+  SequencedExecutor ex;
+  EXPECT_THROW(ex.post([] { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  int ran = 0;
+  ex.post([&] { ++ran; });
+  ex.drain();
+  EXPECT_EQ(ran, 1);
 }
 
 TEST(ThreadPoolExecutor, RunsAllTasks) {
@@ -118,6 +197,102 @@ TEST(ThreadPoolExecutor, DrainWaitsForActive) {
   });
   ex.drain();
   EXPECT_TRUE(done.load());
+}
+
+TEST(ShardedExecutor, RunsAllTasks) {
+  ShardedExecutor ex(4);
+  std::atomic<int> count{0};
+  for (GroupKey g = 0; g < 16; ++g) {
+    for (int i = 0; i < 50; ++i) {
+      ex.post(g, [&] { count.fetch_add(1); });
+    }
+  }
+  ex.drain();
+  EXPECT_EQ(count.load(), 800);
+}
+
+TEST(ShardedExecutor, PerGroupTasksNeverOverlap) {
+  // The monitor invariant, per group: tasks for one group are serialized
+  // (same shard FIFO), so a plain int per group needs no protection.
+  ShardedExecutor ex(4);
+  constexpr int kGroups = 8;
+  int unguarded[kGroups] = {};
+  for (int round = 0; round < 200; ++round) {
+    for (int g = 0; g < kGroups; ++g) {
+      ex.post(static_cast<GroupKey>(g), [&unguarded, g] { ++unguarded[g]; });
+    }
+  }
+  ex.drain();
+  for (int g = 0; g < kGroups; ++g) EXPECT_EQ(unguarded[g], 200) << g;
+}
+
+TEST(ShardedExecutor, PerGroupFifoOrder) {
+  ShardedExecutor ex(3);
+  constexpr int kGroups = 5;
+  std::vector<int> order[kGroups];
+  for (int i = 0; i < 100; ++i) {
+    for (int g = 0; g < kGroups; ++g) {
+      ex.post(static_cast<GroupKey>(g),
+              [&order, g, i] { order[g].push_back(i); });
+    }
+  }
+  ex.drain();
+  for (int g = 0; g < kGroups; ++g) {
+    ASSERT_EQ(order[g].size(), 100u);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(order[g][i], i);
+  }
+}
+
+TEST(ShardedExecutor, TasksPostedByTasksCompleteBeforeDrainReturns) {
+  ShardedExecutor ex(2);
+  std::atomic<int> count{0};
+  for (GroupKey g = 0; g < 4; ++g) {
+    ex.post(g, [&ex, &count, g] {
+      count.fetch_add(1);
+      ex.post(g + 100, [&count] { count.fetch_add(1); });
+    });
+  }
+  ex.drain();
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ShardedExecutor, GroupsSpreadAcrossShards) {
+  // Sequential group ids must not all hash onto one shard, or sharding
+  // buys nothing for the common case.
+  ShardedExecutor ex(4);
+  std::set<unsigned> used;
+  for (GroupKey g = 1; g <= 64; ++g) used.insert(ex.shard_of(g));
+  EXPECT_EQ(used.size(), 4u);
+}
+
+TEST(ShardedExecutor, ShardAssignmentIsStable) {
+  ShardedExecutor ex(4);
+  for (GroupKey g = 0; g < 32; ++g) {
+    EXPECT_EQ(ex.shard_of(g), ex.shard_of(g));
+  }
+}
+
+TEST(ShardedExecutor, ThrowingTaskIsCountedAndWorkerSurvives) {
+  ShardedExecutor ex(2);
+  std::atomic<int> ran{0};
+  ex.post(1, [] { throw std::runtime_error("boom"); });
+  ex.drain();
+  EXPECT_EQ(ex.task_exceptions(), 1u);
+  ex.post(1, [&] { ++ran; });  // same shard keeps working
+  ex.drain();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ShardedExecutor, DestructorFinishesQueuedWork) {
+  std::atomic<int> count{0};
+  {
+    ShardedExecutor ex(2);
+    for (int i = 0; i < 100; ++i) {
+      ex.post(static_cast<GroupKey>(i), [&] { count.fetch_add(1); });
+    }
+    // no drain: the destructor must complete, not drop, the queue
+  }
+  EXPECT_EQ(count.load(), 100);
 }
 
 }  // namespace

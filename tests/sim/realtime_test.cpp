@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+
 #include "horus/api/system.hpp"
 
 namespace horus::sim {
@@ -34,6 +36,63 @@ TEST(RealTime, TimeFactorAccelerates) {
   RealTimeDriver driver(sched, 100.0);
   driver.run_for(std::chrono::milliseconds(50));
   EXPECT_EQ(fired, 10);
+}
+
+TEST(RealTime, WakesForTheNextDueEventNotTheSleepCap) {
+  // Regression for the fixed 200us busy-sleep: the driver now asks the
+  // scheduler for the next due timestamp and sleeps until that moment.
+  // With a deliberately huge sleep cap, firing the 30ms event on time
+  // proves the wakeup comes from next_due(), not from cap-sized polling.
+  Scheduler sched;
+  std::vector<Time> fired;
+  sched.schedule(30'000, [&] { fired.push_back(sched.now()); });
+  RealTimeDriver driver(sched);
+  driver.set_max_sleep(std::chrono::microseconds(1'000'000));
+  std::size_t executed = driver.run_for(std::chrono::milliseconds(60));
+  EXPECT_EQ(executed, 1u);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 30'000u);
+}
+
+TEST(RealTime, DrivesAMultiShardWorld) {
+  // Sharded mode end to end: scheduler events enqueue protocol work onto
+  // the endpoints' shard threads while this thread pumps the clock; the
+  // registered executors are drained before run_for returns.
+  HorusSystem::Options opts;
+  opts.shards = 2;
+  opts.net.loss = 0.0;
+  HorusSystem sys(opts);
+  constexpr GroupId kG1{11};
+  constexpr GroupId kG2{12};
+  auto& a = sys.create_endpoint("NAK:COM");
+  auto& b = sys.create_endpoint("NAK:COM");
+  std::atomic<int> got_g1{0};
+  std::atomic<int> got_g2{0};
+  b.on_upcall([&](Group& g, UpEvent& ev) {
+    if (ev.type != UpType::kCast) return;
+    (g.gid() == kG1 ? got_g1 : got_g2).fetch_add(1);
+  });
+  RealTimeDriver driver(sys.scheduler(), 50.0);
+  driver.add_executor(a.executor());
+  driver.add_executor(b.executor());
+  std::vector<Address> members{a.address(), b.address()};
+  for (GroupId gid : {kG1, kG2}) {
+    a.join(gid);
+    b.join(gid);
+  }
+  driver.run_for(std::chrono::milliseconds(20));
+  for (GroupId gid : {kG1, kG2}) {
+    a.install_view(gid, members);
+    b.install_view(gid, members);
+  }
+  driver.run_for(std::chrono::milliseconds(20));
+  for (int i = 0; i < 5; ++i) {
+    a.cast(kG1, Message::from_string("one"));
+    a.cast(kG2, Message::from_string("two"));
+  }
+  driver.run_for(std::chrono::milliseconds(80));
+  EXPECT_EQ(got_g1.load(), 5);
+  EXPECT_EQ(got_g2.load(), 5);
 }
 
 TEST(RealTime, DrivesAWholeHorusWorld) {
