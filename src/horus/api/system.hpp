@@ -19,9 +19,13 @@
 #pragma once
 
 #include <memory>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "horus/analysis/checked.hpp"
+#include "horus/analysis/lint.hpp"
 #include "horus/core/endpoint.hpp"
 #include "horus/core/sim_transport.hpp"
 #include "horus/layers/registry.hpp"
@@ -46,6 +50,23 @@ class HorusSystem {
     /// interleaving -- use for throughput benches, soak tests and the
     /// concurrency stress tests, not for deterministic scenario tests.
     unsigned shards = 0;
+    /// Run horus-lint over every stack spec before instantiating it and
+    /// reject ill-formed specs (std::invalid_argument carrying the full
+    /// lint report) at endpoint creation. On by default: creating an
+    /// endpoint whose stack cannot deliver its own layers' requirements
+    /// is always a bug.
+    bool validate_stacks = true;
+    /// Wrap every layer in an analysis::CheckedLayer and install a
+    /// ContractMonitor on the stack, recording HCPI contract violations
+    /// (header push/pop discipline, re-entrant down(), use-after-forward,
+    /// undeclared emissions) in counters readable via monitors().
+    /// Defaults to the HORUS_CHECK_CONTRACTS compile definition so whole
+    /// test suites can be re-run with checking on.
+#ifdef HORUS_CHECK_CONTRACTS
+    bool check_contracts = true;
+#else
+    bool check_contracts = false;
+#endif
   };
 
   HorusSystem() : HorusSystem(Options{}) {}
@@ -66,11 +87,12 @@ class HorusSystem {
     if (opts_.shards > 0) {
       exec = std::make_unique<runtime::ShardedExecutor>(opts_.shards);
     }
-    auto ep = std::make_unique<Endpoint>(addr, opts_.stack,
-                                         layers::make_stack(stack_spec),
+    auto [layers, monitor] = build_layers(stack_spec);
+    auto ep = std::make_unique<Endpoint>(addr, opts_.stack, std::move(layers),
                                          opts_.network_properties, transport_,
                                          sched_, std::move(exec));
     Endpoint& ref = *ep;
+    if (monitor) ref.stack().set_monitor(monitor.get());
     transport_.bind(ref);
     endpoints_.push_back(std::move(ep));
     return ref;
@@ -81,8 +103,17 @@ class HorusSystem {
   /// "multiple endpoints on a single base endpoint"). Join groups on it
   /// with Endpoint::join_on.
   Stack& add_stack(Endpoint& ep, const std::string& stack_spec) {
-    return ep.add_stack(layers::make_stack(stack_spec),
-                        opts_.network_properties);
+    auto [layers, monitor] = build_layers(stack_spec);
+    Stack& s = ep.add_stack(std::move(layers), opts_.network_properties);
+    if (monitor) s.set_monitor(monitor.get());
+    return s;
+  }
+
+  /// The contract monitors created for check_contracts stacks, in creation
+  /// order. Tests run a scenario and assert total_violations() == 0.
+  [[nodiscard]] const std::vector<std::shared_ptr<analysis::ContractMonitor>>&
+  monitors() const {
+    return monitors_;
   }
 
   /// Fail-stop crash: the endpoint stops sending, receiving and computing.
@@ -140,11 +171,35 @@ class HorusSystem {
   }
 
  private:
+  /// Lint (when validate_stacks), instantiate, and optionally wrap a stack
+  /// spec; shared by create_endpoint and add_stack.
+  std::pair<std::vector<std::unique_ptr<Layer>>,
+            std::shared_ptr<analysis::ContractMonitor>>
+  build_layers(const std::string& stack_spec) {
+    if (opts_.validate_stacks) {
+      analysis::LintReport rep =
+          analysis::lint_spec(stack_spec, opts_.network_properties);
+      if (!rep.ok()) {
+        throw std::invalid_argument("ill-formed stack spec " + stack_spec +
+                                    "\n" + rep.to_string());
+      }
+    }
+    auto layers = layers::make_stack(stack_spec);
+    std::shared_ptr<analysis::ContractMonitor> monitor;
+    if (opts_.check_contracts) {
+      monitor = std::make_shared<analysis::ContractMonitor>();
+      layers = analysis::wrap_checked(std::move(layers), monitor);
+      monitors_.push_back(monitor);
+    }
+    return {std::move(layers), std::move(monitor)};
+  }
+
   Options opts_;
   sim::Scheduler sched_;
   sim::SimNetwork net_;
   SimTransport transport_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  std::vector<std::shared_ptr<analysis::ContractMonitor>> monitors_;
   std::uint64_t next_addr_ = 1;
 };
 

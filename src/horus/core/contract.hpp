@@ -1,0 +1,50 @@
+// HCPI contract-checking hook interface.
+//
+// The analysis library (horus/analysis/checked.hpp) implements this
+// interface to assert the Horus Common Protocol Interface discipline at
+// every layer boundary crossing: header push/pop ownership and balance,
+// no re-entrant down() from within a delivery upcall, no touching a
+// message after forwarding it, and events emitted only from a layer's
+// declared set. Core defines only the interface so the hot path pays a
+// single predictable branch (`monitor_ != nullptr`) when checking is off,
+// and core never depends on the analysis library.
+#pragma once
+
+#include <cstddef>
+
+namespace horus {
+
+class Group;
+class Layer;
+class Message;
+struct DownEvent;
+struct UpEvent;
+
+class HcpiMonitor {
+ public:
+  virtual ~HcpiMonitor() = default;
+
+  /// A layer (or the app sink, from_index == kAppSinkIndex) forwards an
+  /// event to the next layer below / above. Called before the next layer
+  /// runs.
+  virtual void on_forward_down(Group& g, std::size_t from_index,
+                               const DownEvent& ev) = 0;
+  virtual void on_forward_up(Group& g, std::size_t from_index,
+                             const UpEvent& ev) = 0;
+
+  /// `layer` encodes / decodes its header on `m` via the stack codec.
+  /// No group argument: the codec entry points do not carry one, and the
+  /// monitor tracks the active boundary crossing per thread (group
+  /// execution is serialized, so a crossing never migrates threads).
+  virtual void on_push_header(const Layer& layer, const Message& m) = 0;
+  virtual void on_pop_header(const Layer& layer, const Message& m) = 0;
+
+  /// The application upcall handler is entered / left for group `g`.
+  virtual void on_app_up_begin(Group& g, const UpEvent& ev) = 0;
+  virtual void on_app_up_end(Group& g) = 0;
+
+  /// Sentinel matching Stack's internal app-sink index.
+  static constexpr std::size_t kAppSinkIndex = static_cast<std::size_t>(-1);
+};
+
+}  // namespace horus

@@ -156,7 +156,9 @@ void Endpoint::install_view(GroupId gid, std::vector<Address> members) {
   DownEvent ev;
   ev.type = DownType::kView;
   ev.view = std::move(v);
-  stack_->down(g, std::move(ev));
+  // Down the stack the group actually lives on: with cactus stacks the
+  // group may belong to a branch, not the trunk.
+  g.stack().down(g, std::move(ev));
 }
 
 void Endpoint::destroy() {

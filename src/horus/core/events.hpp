@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
@@ -54,6 +55,16 @@ enum class UpType : std::uint8_t {
 
 const char* to_string(DownType t);
 const char* to_string(UpType t);
+
+/// Bit for an upcall type in a LayerInfo::up_emits declaration mask.
+constexpr std::uint32_t up_mask(UpType t) {
+  return std::uint32_t{1} << static_cast<int>(t);
+}
+constexpr std::uint32_t make_up_emits(std::initializer_list<UpType> ts) {
+  std::uint32_t m = 0;
+  for (UpType t : ts) m |= up_mask(t);
+  return m;
+}
 
 /// One-line description for each call, as printed in the paper's tables.
 const char* describe(DownType t);

@@ -36,6 +36,12 @@ struct LayerInfo {
   /// stack's fast path may skip the layer entirely (Section 10, fix 1).
   bool skip_data_down = false;
   bool skip_data_up = false;
+  /// Upcall types this layer may *originate* (as opposed to pass through
+  /// from below), as a mask of `up_mask(UpType)` bits. The HCPI contract
+  /// checker (analysis/checked.hpp) flags originated upcalls outside this
+  /// set. kEmitsUndeclared (the default) disables the check for the layer.
+  std::uint32_t up_emits = kEmitsUndeclared;
+  static constexpr std::uint32_t kEmitsUndeclared = ~0u;
 };
 
 /// Base class for per-group layer state kept inside the Group object.
@@ -67,8 +73,9 @@ class Layer {
   /// Diagnostics: append a human-readable dump of per-group state.
   virtual void dump(Group& g, std::string& out) const;
 
-  /// Wired up by Stack during construction.
-  void attach(Stack& s, std::size_t index) {
+  /// Wired up by Stack during construction. Virtual so that decorators
+  /// (analysis::CheckedLayer) can attach their inner layer alongside.
+  virtual void attach(Stack& s, std::size_t index) {
     stack_ = &s;
     index_ = index;
   }

@@ -91,7 +91,7 @@ bool Message::linearize(WireBufRef wb, std::size_t region_cap,
     at -= b.size();
     std::memcpy(base + at, b.data(), b.size());
   }
-  std::memcpy(base, region_.data(), region_.size());
+  if (!region_.empty()) std::memcpy(base, region_.data(), region_.size());
   msg_path_stats().bytes_copied.fetch_add(psz + bsz + region_.size(),
                                           std::memory_order_relaxed);
   wb_ = std::move(wb);

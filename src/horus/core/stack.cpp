@@ -148,6 +148,7 @@ void Stack::deliver_datagram(Address src, GroupId gid,
 }
 
 void Stack::forward_down(std::size_t from_index, Group& g, DownEvent& ev) {
+  if (monitor_ != nullptr) monitor_->on_forward_down(g, from_index, ev);
   // Any data descent -- an app downcall or a message originated mid-stack
   // (token, retransmission, fragment) -- moves onto the linear hot path at
   // its first boundary. No-op once linear.
@@ -170,6 +171,7 @@ void Stack::forward_down(std::size_t from_index, Group& g, DownEvent& ev) {
 }
 
 void Stack::forward_up(std::size_t from_index, Group& g, UpEvent& ev) {
+  if (monitor_ != nullptr) monitor_->on_forward_up(g, from_index, ev);
   std::size_t next;
   if (from_index == 0) {
     next = kAppSink;
@@ -187,6 +189,17 @@ void Stack::forward_up(std::size_t from_index, Group& g, UpEvent& ev) {
 
 void Stack::app_up(Group& g, UpEvent& ev) {
   stats_.upcalls_to_app.fetch_add(1, std::memory_order_relaxed);
+  if (monitor_ != nullptr) {
+    monitor_->on_app_up_begin(g, ev);
+    try {
+      owner_->deliver_app_upcall(g, ev);
+    } catch (...) {
+      monitor_->on_app_up_end(g);
+      throw;
+    }
+    monitor_->on_app_up_end(g);
+    return;
+  }
   owner_->deliver_app_upcall(g, ev);
 }
 
@@ -209,6 +222,7 @@ void Stack::transport_send_raw(Address dst, ByteSpan wire,
 
 void Stack::push_header(Message& m, const Layer& layer,
                         std::span<const std::uint64_t> fields, ByteSpan var) {
+  if (monitor_ != nullptr) monitor_->on_push_header(layer, m);
   const LayerInfo& li = layer.info();
   assert(fields.size() == li.fields.size());
   if (cfg_.codec == HeaderCodec::kCompact) {
@@ -263,6 +277,7 @@ void Stack::push_header(Message& m, const Layer& layer,
 }
 
 PoppedHeader Stack::pop_header(Message& m, const Layer& layer) {
+  if (monitor_ != nullptr) monitor_->on_pop_header(layer, m);
   const LayerInfo& li = layer.info();
   PoppedHeader out;
   out.fields.reserve(li.fields.size());

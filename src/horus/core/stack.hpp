@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "horus/core/contract.hpp"
 #include "horus/core/group.hpp"
 #include "horus/core/layer.hpp"
 #include "horus/core/message.hpp"
@@ -225,6 +226,13 @@ class Stack {
   /// Create per-group layer state slots for a new group.
   void init_group(Group& g);
 
+  /// Install (or clear, with nullptr) an HCPI contract monitor. The monitor
+  /// must outlive the stack's activity; normally it is the shared
+  /// ContractMonitor the stack's CheckedLayer wrappers also hold. Off (the
+  /// default) the hot path pays one untaken branch per boundary crossing.
+  void set_monitor(HcpiMonitor* m) { monitor_ = m; }
+  [[nodiscard]] HcpiMonitor* monitor() const { return monitor_; }
+
   // Internal: used by Layer::pass_down/pass_up. Index is the calling layer.
   void forward_down(std::size_t from_index, Group& g, DownEvent& ev);
   void forward_up(std::size_t from_index, Group& g, UpEvent& ev);
@@ -255,6 +263,7 @@ class Stack {
   std::size_t tailroom_ = 0;  // trailer space (CRC) reserved behind payloads
   std::unique_ptr<WireBufPool> pool_;
   StackStats stats_;
+  HcpiMonitor* monitor_ = nullptr;
 };
 
 }  // namespace horus

@@ -23,6 +23,7 @@ LayerInfo make_info() {
   li.spec.provides = props::make_set(
       {Property::kVirtualSemiSync, Property::kConsistentViews});
   li.spec.cost = 3;
+  li.up_emits = make_up_emits({UpType::kExit, UpType::kView, UpType::kCast, UpType::kSend});
   return li;
 }
 

@@ -21,6 +21,7 @@ LayerInfo make_info() {
   li.spec.provides =
       props::make_set({Property::kCausal, Property::kCausalTimestamps});
   li.spec.cost = 3;
+  li.up_emits = make_up_emits({UpType::kCast});
   return li;
 }
 

@@ -15,6 +15,7 @@ LayerInfo make_info() {
   li.spec.inherits = props::kAllProperties;
   li.spec.provides = props::make_set({Property::kGarblingDetect});
   li.spec.cost = 1;
+  li.up_emits = 0;  // transform: forwards entry events, originates nothing
   return li;
 }
 

@@ -23,6 +23,7 @@ LayerInfo make_info(bool checksum) {
       checksum ? props::make_set({Property::kGarblingDetect, Property::kSourceAddress})
                : props::make_set({Property::kSourceAddress});
   li.spec.cost = 1;
+  li.up_emits = make_up_emits({UpType::kCast, UpType::kSend});
   return li;
 }
 

@@ -13,6 +13,7 @@ LayerInfo make_info() {
   li.spec.inherits = props::kAllProperties;
   li.spec.provides = 0;  // bandwidth, not a delivery property
   li.spec.cost = 3;
+  li.up_emits = 0;  // transform: forwards entry events, originates nothing
   return li;
 }
 

@@ -13,6 +13,7 @@ LayerInfo make_info() {
   li.spec.inherits = props::kAllProperties;
   li.spec.provides = 0;  // privacy is not one of the P1..P16 delivery properties
   li.spec.cost = 3;
+  li.up_emits = 0;  // transform: forwards entry events, originates nothing
   return li;
 }
 

@@ -19,6 +19,7 @@ LayerInfo make_info() {
   li.spec.provides = props::make_set(
       {Property::kFifoMulticast, Property::kLargeMessages});
   li.spec.cost = 4;
+  li.up_emits = make_up_emits({UpType::kCast, UpType::kSend});
   return li;
 }
 

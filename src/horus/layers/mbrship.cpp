@@ -23,6 +23,7 @@ LayerInfo make_info() {
                                       Property::kVirtualSync,
                                       Property::kConsistentViews});
   li.spec.cost = 5;
+  li.up_emits = make_up_emits({UpType::kView, UpType::kFlush, UpType::kFlushOk, UpType::kExit, UpType::kSystemError, UpType::kMergeDenied, UpType::kMergeRequest, UpType::kCast, UpType::kSend});
   return li;
 }
 

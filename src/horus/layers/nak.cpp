@@ -23,6 +23,7 @@ LayerInfo make_info() {
   li.spec.provides =
       props::make_set({Property::kFifoUnicast, Property::kFifoMulticast});
   li.spec.cost = 3;
+  li.up_emits = make_up_emits({UpType::kCast, UpType::kSend, UpType::kLostMessage, UpType::kProblem});
   return li;
 }
 
@@ -371,6 +372,10 @@ void Nak::send_status(Group& g, State& st) {
   // heard within fail_timeout is reported upward as a PROBLEM.
   sim::Time now = stack().now();
   sim::Duration timeout = stack().config().fail_timeout;
+  // Collect suspects first, report after: a PROBLEM upcall can drive the
+  // membership layer to install a new view synchronously, which would free
+  // the member vector this loop iterates.
+  std::vector<Address> suspects;
   for (const Address& m : g.view().members()) {
     if (m == self) continue;
     PeerState& p = peer(st, g, m);
@@ -379,11 +384,14 @@ void Nak::send_status(Group& g, State& st) {
       HLOG_DEBUG("NAK") << stack().address().id << " suspects " << m.id
                         << " at t=" << now << " (quiet "
                         << (now - p.last_heard) << "us)";
-      UpEvent ev;
-      ev.type = UpType::kProblem;
-      ev.source = m;
-      pass_up(g, ev);
+      suspects.push_back(m);
     }
+  }
+  for (const Address& m : suspects) {
+    UpEvent ev;
+    ev.type = UpType::kProblem;
+    ev.source = m;
+    pass_up(g, ev);
   }
 }
 

@@ -15,6 +15,7 @@ LayerInfo make_info() {
   li.spec.inherits = props::kAllProperties;
   li.spec.provides = props::make_set({Property::kFifoUnicast});
   li.spec.cost = 2;
+  li.up_emits = make_up_emits({UpType::kCast, UpType::kSend, UpType::kLostMessage});
   return li;
 }
 

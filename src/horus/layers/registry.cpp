@@ -1,5 +1,7 @@
 #include "horus/layers/registry.hpp"
 
+#include <algorithm>
+#include <cctype>
 #include <functional>
 #include <map>
 #include <stdexcept>
@@ -33,6 +35,7 @@ class Nop final : public Layer {
     info_.name = "NOP";
     info_.spec.name = "NOP";
     info_.spec.inherits = props::kAllProperties;
+    info_.up_emits = 0;  // pure pass-through
     info_.skip_data_down = true;
     info_.skip_data_up = true;
   }
@@ -50,6 +53,7 @@ class Pass final : public Layer {
     info_.name = "PASS";
     info_.spec.name = "PASS";
     info_.spec.inherits = props::kAllProperties;
+    info_.up_emits = 0;  // pure pass-through
   }
   const LayerInfo& info() const override { return info_; }
 
@@ -66,6 +70,7 @@ class Tag final : public Layer {
     info_.fields = {{"tag", 32}};
     info_.spec.name = "TAG";
     info_.spec.inherits = props::kAllProperties;
+    info_.up_emits = 0;  // tags the entry message only
   }
   const LayerInfo& info() const override { return info_; }
   void down(Group& g, DownEvent& ev) override {
@@ -150,9 +155,19 @@ std::vector<std::string> split_spec(const std::string& spec) {
 
 std::vector<std::unique_ptr<Layer>> make_stack(const std::string& spec) {
   std::vector<std::unique_ptr<Layer>> out;
+  std::size_t pos = 0;
   for (const std::string& name : split_spec(spec)) {
+    ++pos;
     if (name.empty()) throw std::invalid_argument("empty layer name in: " + spec);
-    out.push_back(make_layer(name));
+    try {
+      out.push_back(make_layer(name));
+    } catch (const std::invalid_argument&) {
+      std::string msg = "unknown protocol layer \"" + name + "\" at position " +
+                        std::to_string(pos) + " of spec \"" + spec + "\"";
+      std::string near = closest_layer_name(name);
+      if (!near.empty()) msg += " (did you mean " + near + "?)";
+      throw std::invalid_argument(msg);
+    }
   }
   return out;
 }
@@ -168,6 +183,45 @@ const std::vector<std::string>& layer_names() {
 
 props::LayerSpec layer_spec(const std::string& name) {
   return make_layer(name)->info().spec;
+}
+
+LayerInfo layer_info(const std::string& name) {
+  return make_layer(name)->info();
+}
+
+std::string closest_layer_name(const std::string& name) {
+  // Classic Levenshtein over the (small) registry; case-insensitive so a
+  // lowercase spec still gets a useful suggestion.
+  auto upper = [](std::string s) {
+    for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    return s;
+  };
+  const std::string target = upper(name);
+  auto distance = [](const std::string& a, const std::string& b) {
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+      std::size_t diag = row[0];
+      row[0] = i;
+      for (std::size_t j = 1; j <= b.size(); ++j) {
+        std::size_t sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+        diag = row[j];
+        row[j] = std::min({row[j] + 1, row[j - 1] + 1, sub});
+      }
+    }
+    return row[b.size()];
+  };
+
+  std::string best;
+  std::size_t best_d = std::max<std::size_t>(2, target.size() / 2) + 1;
+  for (const auto& [n, f] : registry()) {
+    std::size_t d = distance(target, n);
+    if (d < best_d) {
+      best_d = d;
+      best = n;
+    }
+  }
+  return best;
 }
 
 std::vector<props::LayerSpec> all_layer_specs() {

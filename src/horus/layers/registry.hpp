@@ -25,6 +25,15 @@ const std::vector<std::string>& layer_names();
 /// The Table 3 property row for a named layer.
 props::LayerSpec layer_spec(const std::string& name);
 
+/// The full LayerInfo (spec + transport flag + declared up-event set) for a
+/// named layer. Throws std::invalid_argument for an unknown name.
+LayerInfo layer_info(const std::string& name);
+
+/// The registered name closest to `name` by edit distance, for
+/// did-you-mean suggestions. Empty when nothing is plausibly close
+/// (distance > max(2, |name|/2)).
+std::string closest_layer_name(const std::string& name);
+
 /// All Table 3 rows, in registry order (drives the bench that reprints the
 /// paper's table and the minimal-stack search library).
 std::vector<props::LayerSpec> all_layer_specs();

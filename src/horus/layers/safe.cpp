@@ -18,6 +18,7 @@ LayerInfo make_info() {
   li.spec.provides = props::make_set({Property::kSafe});
   li.spec.cost = 2;
   li.skip_data_down = true;  // casts/sends pass down untouched
+  li.up_emits = make_up_emits({UpType::kCast});
   return li;
 }
 

@@ -16,6 +16,7 @@ LayerInfo make_info() {
   // A keyed MAC detects garbling as a byproduct of detecting forgery.
   li.spec.provides = props::make_set({Property::kGarblingDetect});
   li.spec.cost = 2;
+  li.up_emits = 0;  // transform: forwards entry events, originates nothing
   return li;
 }
 

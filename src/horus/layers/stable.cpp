@@ -18,6 +18,7 @@ LayerInfo make_info() {
   li.spec.inherits = props::kAllProperties;
   li.spec.provides = props::make_set({Property::kStabilityInfo});
   li.spec.cost = 2;
+  li.up_emits = make_up_emits({UpType::kStable});
   return li;
 }
 

@@ -18,6 +18,7 @@ LayerInfo make_info() {
   li.spec.inherits = props::kAllProperties;
   li.spec.provides = props::make_set({Property::kTotalOrder});
   li.spec.cost = 4;
+  li.up_emits = make_up_emits({UpType::kCast});
   return li;
 }
 

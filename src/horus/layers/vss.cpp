@@ -22,6 +22,7 @@ LayerInfo make_info() {
   li.spec.inherits = props::kAllProperties;
   li.spec.provides = props::make_set({Property::kVirtualSync});
   li.spec.cost = 3;
+  li.up_emits = make_up_emits({UpType::kView, UpType::kCast, UpType::kSend});
   return li;
 }
 

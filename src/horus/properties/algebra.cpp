@@ -24,6 +24,10 @@ StackCheck check_stack(const std::vector<LayerSpec>& layers, PropertySet network
       out.error = "layer " + l.name + " requires " + to_string(missing) +
                   " which the stack below it does not provide (it provides " +
                   to_string(cur) + ")";
+      // rbegin distance -> top-to-bottom index of the failing layer.
+      out.offender = layers.size() - 1 -
+                     static_cast<std::size_t>(it - layers.rbegin());
+      out.missing = missing;
       return out;
     }
     cur = apply(l, cur);

@@ -33,6 +33,12 @@ struct StackCheck {
   std::vector<PropertySet> after_layer;
   /// Human-readable diagnosis when ill-formed.
   std::string error;
+  /// When ill-formed: index (into the TOP-to-bottom input vector) of the
+  /// layer whose requirement failed, and the property set it was missing.
+  /// Structured so tooling (horus-lint) can point at the offending layer
+  /// and search for a fix without re-parsing the error string.
+  std::optional<std::size_t> offender;
+  PropertySet missing = 0;
 };
 
 /// Check a stack. `layers` is ordered TOP to BOTTOM (the order of a Horus

@@ -1,0 +1,100 @@
+// horus-lint: check Horus stack spec strings against the Section 6
+// property algebra and report ill-formedness, redundancy and masked
+// guarantees with fix suggestions.
+//
+// Usage:
+//   horus-lint [options] SPEC...          lint each spec argument
+//   horus-lint [options] -                lint one spec per stdin line
+//
+// Options:
+//   --network=P1,P3,...   property set of the transport (default: P1)
+//   --werror              treat warnings as errors
+//   --quiet               print only failing specs
+//   --list-layers         print the registered layer names and exit
+//
+// Exit status: 0 when every spec lints clean, 1 when any spec has errors
+// (or, with --werror, warnings), 2 on usage errors.
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "horus/analysis/lint.hpp"
+#include "horus/layers/registry.hpp"
+#include "horus/properties/property.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: horus-lint [--network=P1,P2,...] [--werror] [--quiet] "
+               "[--list-layers] SPEC... | -\n";
+  return 2;
+}
+
+/// Parse "P1,P3" into a property set; returns false on a bad token.
+bool parse_network(const std::string& arg, horus::props::PropertySet& out) {
+  out = 0;
+  std::stringstream ss(arg);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (tok.size() < 2 || (tok[0] != 'P' && tok[0] != 'p')) return false;
+    int n = 0;
+    try {
+      n = std::stoi(tok.substr(1));
+    } catch (...) {
+      return false;
+    }
+    if (n < 1 || n > horus::props::kPropertyCount) return false;
+    out |= horus::props::PropertySet{1} << (n - 1);
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  horus::props::PropertySet network =
+      horus::props::make_set({horus::props::Property::kBestEffort});
+  bool werror = false;
+  bool quiet = false;
+  bool from_stdin = false;
+  std::vector<std::string> specs;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--network=", 0) == 0) {
+      if (!parse_network(arg.substr(10), network)) return usage();
+    } else if (arg == "--werror") {
+      werror = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--list-layers") {
+      for (const std::string& n : horus::layers::layer_names()) {
+        std::cout << n << '\n';
+      }
+      return 0;
+    } else if (arg == "-") {
+      from_stdin = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      specs.push_back(arg);
+    }
+  }
+  if (from_stdin) {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (!line.empty() && line[0] != '#') specs.push_back(line);
+    }
+  }
+  if (specs.empty()) return usage();
+
+  bool failed = false;
+  for (const std::string& spec : specs) {
+    horus::analysis::LintReport rep = horus::analysis::lint_spec(spec, network);
+    bool bad = !rep.ok() || (werror && rep.warnings() > 0);
+    failed = failed || bad;
+    if (!quiet || bad) std::cout << rep.to_string();
+  }
+  return failed ? 1 : 0;
+}
