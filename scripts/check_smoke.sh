@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# The horus-check smoke sweep: run the fixed seed corpus against the three
+# canonical stacks, all oracles on auto. Any violation fails the sweep and
+# leaves a shrunken repro.json behind (CI's check-smoke job uploads it as
+# an artifact; locally, replay it with `horus-check --replay=<file>`).
+#
+# Usage: scripts/check_smoke.sh [path/to/horus-check] [path/to/corpus.txt]
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+check="${1:-$root/build/tools/horus-check}"
+corpus="${2:-$root/scripts/check_corpus.txt}"
+out_dir="${CHECK_SMOKE_OUT:-.}"
+
+if [[ ! -x "$check" ]]; then
+  echo "horus-check not found at $check (build first, or pass its path)" >&2
+  exit 2
+fi
+if [[ ! -f "$corpus" ]]; then
+  echo "seed corpus not found at $corpus" >&2
+  exit 2
+fi
+
+stacks=(
+  "TOTAL:STABLE:MBRSHIP:FRAG:NAK:COM"
+  "CAUSAL:MBRSHIP:FRAG:NAK:COM"
+  "MBRSHIP:FRAG:NAK:COM"
+)
+
+failed=0
+for stack in "${stacks[@]}"; do
+  repro="$out_dir/repro-$(echo "$stack" | tr ':' '_').json"
+  echo "== $stack =="
+  if ! "$check" --stack="$stack" --seed-file="$corpus" --quiet \
+      --repro="$repro"; then
+    echo "FAILED: $stack (repro at $repro)" >&2
+    failed=1
+  fi
+done
+
+exit "$failed"

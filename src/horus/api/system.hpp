@@ -18,6 +18,7 @@
 // concurrently, each of which can be configured individually").
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -67,6 +68,15 @@ class HorusSystem {
 #else
     bool check_contracts = false;
 #endif
+    /// Override stack instantiation entirely: given the spec string, return
+    /// the layer vector (top to bottom). Scenario tooling (horus-check)
+    /// uses this to splice deliberately-broken layer variants into an
+    /// otherwise ordinary stack. When set, horus-lint validation is
+    /// skipped -- the factory's specs may use tokens the registry does not
+    /// know -- but the Stack constructor still enforces the property
+    /// algebra on whatever layers come back.
+    std::function<std::vector<std::unique_ptr<Layer>>(const std::string&)>
+        stack_factory;
   };
 
   HorusSystem() : HorusSystem(Options{}) {}
@@ -176,7 +186,7 @@ class HorusSystem {
   std::pair<std::vector<std::unique_ptr<Layer>>,
             std::shared_ptr<analysis::ContractMonitor>>
   build_layers(const std::string& stack_spec) {
-    if (opts_.validate_stacks) {
+    if (opts_.validate_stacks && !opts_.stack_factory) {
       analysis::LintReport rep =
           analysis::lint_spec(stack_spec, opts_.network_properties);
       if (!rep.ok()) {
@@ -184,7 +194,8 @@ class HorusSystem {
                                     "\n" + rep.to_string());
       }
     }
-    auto layers = layers::make_stack(stack_spec);
+    auto layers = opts_.stack_factory ? opts_.stack_factory(stack_spec)
+                                      : layers::make_stack(stack_spec);
     std::shared_ptr<analysis::ContractMonitor> monitor;
     if (opts_.check_contracts) {
       monitor = std::make_shared<analysis::ContractMonitor>();

@@ -1,0 +1,183 @@
+#include "horus/check/broken.hpp"
+
+#include <optional>
+#include <stdexcept>
+
+#include "horus/core/stack.hpp"
+#include "horus/layers/registry.hpp"
+
+namespace horus::check {
+namespace {
+
+LayerInfo shim_info(const std::string& name) {
+  LayerInfo li;
+  li.name = name;
+  li.spec.name = name;
+  li.spec.requires_below = 0;
+  li.spec.inherits = props::kAllProperties;
+  li.spec.provides = 0;
+  li.spec.cost = 0;
+  return li;
+}
+
+/// Shared mechanism: hold one cast upcall back and release it after the
+/// next one, swapping a pair of adjacent deliveries. Any buffered cast is
+/// flushed before a view/flush upcall passes, so delivery *sets* per view
+/// stay intact and only the order is damaged (the breakage under test).
+struct HoldState final : LayerState {
+  std::optional<UpEvent> held;
+  std::uint64_t count = 0;
+};
+
+class SwapShim : public Layer {
+ public:
+  /// Swap one pair out of every `period` casts; `odd_only` restricts the
+  /// breakage to odd-address members (so members disagree).
+  SwapShim(std::string name, std::uint64_t period, bool odd_only)
+      : info_(shim_info(std::move(name))),
+        period_(period),
+        odd_only_(odd_only) {}
+
+  const LayerInfo& info() const override { return info_; }
+  std::unique_ptr<LayerState> make_state(Group&) override {
+    return std::make_unique<HoldState>();
+  }
+
+  void up(Group& g, UpEvent& ev) override {
+    HoldState& st = state<HoldState>(g);
+    if (ev.type != UpType::kCast) {
+      if (st.held) {
+        UpEvent h = std::move(*st.held);
+        st.held.reset();
+        pass_up(g, h);
+      }
+      pass_up(g, ev);
+      return;
+    }
+    if (odd_only_ && stack().address().id % 2 == 0) {
+      pass_up(g, ev);
+      return;
+    }
+    if (st.held) {
+      UpEvent h = std::move(*st.held);
+      st.held.reset();
+      pass_up(g, ev);  // the later message first: the swap
+      pass_up(g, h);
+      return;
+    }
+    if (++st.count % period_ == 0) {
+      st.held = ev;  // swallowed until the next cast
+      return;
+    }
+    pass_up(g, ev);
+  }
+
+ private:
+  LayerInfo info_;
+  std::uint64_t period_;
+  bool odd_only_;
+};
+
+struct CountState final : LayerState {
+  std::uint64_t count = 0;
+};
+
+/// NAK!: re-delivers every 5th cast (duplication the layer below was
+/// supposed to make impossible).
+class DupShim final : public Layer {
+ public:
+  DupShim() : info_(shim_info("NAK!")) {}
+  const LayerInfo& info() const override { return info_; }
+  std::unique_ptr<LayerState> make_state(Group&) override {
+    return std::make_unique<CountState>();
+  }
+
+  void up(Group& g, UpEvent& ev) override {
+    if (ev.type == UpType::kCast && ++state<CountState>(g).count % 5 == 0) {
+      UpEvent copy = ev;
+      pass_up(g, ev);
+      pass_up(g, copy);
+      return;
+    }
+    pass_up(g, ev);
+  }
+
+ private:
+  LayerInfo info_;
+};
+
+/// MBRSHIP!: odd-address members see every multi-member view with its
+/// highest-ranked other member removed, so final views never agree.
+class SplitViewShim final : public Layer {
+ public:
+  SplitViewShim() : info_(shim_info("MBRSHIP!")) {}
+  const LayerInfo& info() const override { return info_; }
+
+  void up(Group& g, UpEvent& ev) override {
+    if (ev.type == UpType::kView && stack().address().id % 2 == 1 &&
+        ev.view.size() >= 2) {
+      std::vector<Address> members = ev.view.members();
+      if (members.back() == stack().address()) {
+        members.erase(members.end() - 2);
+      } else {
+        members.pop_back();
+      }
+      ev.view = View(ev.view.id(), std::move(members));
+    }
+    pass_up(g, ev);
+  }
+
+ private:
+  LayerInfo info_;
+};
+
+std::unique_ptr<Layer> make_shim_for(const std::string& token) {
+  if (token == "TOTAL") return make_break_order();
+  if (token == "CAUSAL") return make_break_causal();
+  if (token == "NAK") return make_dup_deliver();
+  if (token == "MBRSHIP") return make_split_view();
+  throw std::invalid_argument("no broken variant registered for '" + token +
+                              "!' (have TOTAL!, CAUSAL!, NAK!, MBRSHIP!)");
+}
+
+}  // namespace
+
+bool has_broken_tokens(const std::string& spec) {
+  return spec.find('!') != std::string::npos;
+}
+
+std::vector<std::unique_ptr<Layer>> make_scenario_stack(
+    const std::string& spec) {
+  std::vector<std::unique_ptr<Layer>> out;
+  for (const std::string& token : layers::split_spec(spec)) {
+    if (!token.empty() && token.back() == '!') {
+      std::string real = token.substr(0, token.size() - 1);
+      if (real == "NAK") {
+        // MBRSHIP dedups below-it duplicates (see broken.hpp): to be
+        // application-visible the duplicating shim must sit at the top.
+        out.insert(out.begin(), make_shim_for(real));
+      } else {
+        out.push_back(make_shim_for(real));
+      }
+      out.push_back(layers::make_layer(real));
+    } else {
+      out.push_back(layers::make_layer(token));
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<Layer> make_break_order() {
+  return std::make_unique<SwapShim>("TOTAL!", 3, /*odd_only=*/true);
+}
+std::unique_ptr<Layer> make_break_causal() {
+  return std::make_unique<SwapShim>("CAUSAL!", 2, /*odd_only=*/false);
+}
+std::unique_ptr<Layer> make_dup_deliver() {
+  return std::make_unique<DupShim>();
+}
+std::unique_ptr<Layer> make_split_view() {
+  return std::make_unique<SplitViewShim>();
+}
+
+}  // namespace horus::check

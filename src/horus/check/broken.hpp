@@ -1,0 +1,55 @@
+// Deliberately-broken layer variants for validating horus-check itself
+// (docs/check.md, "mutation smoke tests").
+//
+// Each variant is a chaos *shim*: a property-transparent layer spliced
+// directly above a real layer, perturbing the upcall stream that layer
+// just ordered/deduplicated/agreed on. Shims rather than modified layer
+// copies: the real layer's code runs unchanged, the breakage is localized
+// and obvious, and the property algebra still sees the original stack
+// (every shim inherits everything and provides nothing).
+//
+// A scenario spec token with a trailing '!' requests the broken variant:
+// "TOTAL!:STABLE:MBRSHIP:FRAG:NAK:COM" is the canonical stack with a shim
+// above TOTAL that reorders deliveries. make_scenario_stack() expands the
+// tokens; HorusSystem's stack_factory hook lets the runner install it
+// (horus-lint cannot know the '!' tokens, but the Stack constructor still
+// checks the property algebra of the expanded layer list).
+//
+// The catalogue:
+//   TOTAL!    swaps adjacent cast deliveries on odd-address members only,
+//             so delivery order diverges across members (total order)
+//   CAUSAL!   swaps adjacent cast deliveries on every member, delivering
+//             messages before their causal predecessors (causal)
+//   NAK!      delivers every 5th cast twice (no-duplication). This shim
+//             rides at the *top* of the stack rather than above NAK:
+//             MBRSHIP's per-view sequence numbers dedup anything injected
+//             below it (a composition fact horus-check itself surfaced),
+//             so only an above-MBRSHIP duplicate is application-visible.
+//   MBRSHIP!  drops one member from installed views on odd-address
+//             members, so final views disagree (view agreement)
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "horus/core/layer.hpp"
+
+namespace horus::check {
+
+/// True if `spec` contains at least one '!' (broken) token.
+[[nodiscard]] bool has_broken_tokens(const std::string& spec);
+
+/// Expand a scenario spec into a layer list, splicing a chaos shim above
+/// every '!' token. Throws std::invalid_argument for a '!' token without a
+/// registered breakage.
+[[nodiscard]] std::vector<std::unique_ptr<Layer>> make_scenario_stack(
+    const std::string& spec);
+
+/// The individual shims (exposed for the oracle unit tests).
+std::unique_ptr<Layer> make_break_order();   ///< TOTAL!
+std::unique_ptr<Layer> make_break_causal();  ///< CAUSAL!
+std::unique_ptr<Layer> make_dup_deliver();   ///< NAK!
+std::unique_ptr<Layer> make_split_view();    ///< MBRSHIP!
+
+}  // namespace horus::check

@@ -1,0 +1,47 @@
+#include "horus/check/explorer.hpp"
+
+namespace horus::check {
+
+ExploreResult explore(const Scenario& scn, const ExploreOptions& opts) {
+  ExploreResult out;
+  for (std::uint64_t i = 0; i < opts.num_seeds; ++i) {
+    std::uint64_t seed = opts.first_seed + i;
+    RunResult r = run_scenario(scn, seed);
+    ++out.runs;
+    if (out.runs == 1) out.oracles = r.oracles;
+    if (opts.on_run) opts.on_run(seed, r);
+    if (r.ok()) continue;
+    ++out.failures;
+    if (!out.first_failing_seed) {
+      out.first_failing_seed = seed;
+      out.first_violations = r.violations;
+      if (opts.shrink_failures) {
+        // Re-run with recording on: the bulk pass does not pay for fault
+        // capture, the shrinker needs it.
+        RunOptions ro;
+        ro.record = true;
+        RunResult recorded = run_scenario(scn, seed, ro);
+        ShrinkStats st;
+        out.repro = shrink(scn, seed, recorded, &st, opts.shrink_budget);
+        out.shrink_stats = st;
+      } else {
+        // No shrinking requested: still emit a (full-size) artifact so the
+        // failure can be replayed.
+        Repro rp;
+        rp.scenario = scn;
+        rp.seed = seed;
+        rp.plan = r.plan;
+        rp.event_hash = r.event_hash;
+        rp.dispatch_hash = r.dispatch_hash;
+        for (const Violation& v : r.violations) {
+          rp.violations.push_back(v.to_string());
+        }
+        out.repro = rp;
+      }
+    }
+    if (opts.stop_on_failure) break;
+  }
+  return out;
+}
+
+}  // namespace horus::check

@@ -1,0 +1,40 @@
+// Seed exploration: iterate a scenario over many seeds, judge each run
+// against the oracles, and shrink the first failure into a repro artifact.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "horus/check/shrink.hpp"
+
+namespace horus::check {
+
+struct ExploreOptions {
+  std::uint64_t first_seed = 1;
+  std::uint64_t num_seeds = 100;
+  bool stop_on_failure = true;
+  bool shrink_failures = true;
+  int shrink_budget = 300;
+  /// Progress hook, called after every seed (CLI prints a line; tests
+  /// count). Null is fine.
+  std::function<void(std::uint64_t seed, const RunResult&)> on_run;
+};
+
+struct ExploreResult {
+  std::uint64_t runs = 0;
+  std::uint64_t failures = 0;
+  OracleSet oracles = 0;  ///< oracles evaluated (from the first run)
+  std::optional<std::uint64_t> first_failing_seed;
+  std::vector<Violation> first_violations;
+  /// Shrunken artifact of the first failure (when shrink_failures).
+  std::optional<Repro> repro;
+  std::optional<ShrinkStats> shrink_stats;
+
+  [[nodiscard]] bool ok() const { return failures == 0; }
+};
+
+[[nodiscard]] ExploreResult explore(const Scenario& scn,
+                                    const ExploreOptions& opts = {});
+
+}  // namespace horus::check

@@ -1,0 +1,298 @@
+#include "horus/check/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace horus::check {
+
+Json& Json::operator[](const std::string& key) {
+  if (type_ == Type::kNull) type_ = Type::kObject;
+  expect(Type::kObject);
+  for (auto& [k, v] : obj_) {
+    if (k == key) return v;
+  }
+  obj_.emplace_back(key, Json{});
+  return obj_.back().second;
+}
+
+const Json* Json::find(const std::string& key) const {
+  expect(Type::kObject);
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Json& Json::at(const std::string& key) const {
+  const Json* v = find(key);
+  if (!v) throw std::runtime_error("Json: missing key '" + key + "'");
+  return *v;
+}
+
+namespace {
+
+void escape_to(const std::string& s, std::string& out) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += b_ ? "true" : "false"; break;
+    case Type::kInt: out += std::to_string(i_); break;
+    case Type::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.17g", d_);
+      out += buf;
+      break;
+    }
+    case Type::kString: escape_to(s_, out); break;
+    case Type::kArray: {
+      out += '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i) out += ',';
+        newline_indent(out, indent, depth + 1);
+        arr_[i].dump_to(out, indent, depth + 1);
+      }
+      if (!arr_.empty()) newline_indent(out, indent, depth);
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      out += '{';
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        if (i) out += ',';
+        newline_indent(out, indent, depth + 1);
+        escape_to(obj_[i].first, out);
+        out += indent > 0 ? ": " : ":";
+        obj_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (!obj_.empty()) newline_indent(out, indent, depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : t_(text) {}
+
+  Json parse() {
+    Json v = value();
+    skip_ws();
+    if (pos_ != t_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("Json parse error at byte " +
+                             std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < t_.size() &&
+           std::isspace(static_cast<unsigned char>(t_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= t_.size()) fail("unexpected end of input");
+    return t_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_lit(const char* lit) {
+    std::size_t n = std::char_traits<char>::length(lit);
+    if (t_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Json value() {
+    skip_ws();
+    char c = peek();
+    switch (c) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return Json(string());
+      case 't':
+        if (consume_lit("true")) return Json(true);
+        fail("bad literal");
+      case 'f':
+        if (consume_lit("false")) return Json(false);
+        fail("bad literal");
+      case 'n':
+        if (consume_lit("null")) return Json{};
+        fail("bad literal");
+      default: return number();
+    }
+  }
+
+  Json number() {
+    std::size_t start = pos_;
+    bool neg = peek() == '-';
+    if (neg) ++pos_;
+    bool is_int = true;
+    while (pos_ < t_.size()) {
+      char c = t_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_int = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail("expected a value");
+    std::string tok = t_.substr(start, pos_ - start);
+    if (is_int && !neg) {
+      std::uint64_t v = 0;
+      auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+      if (ec == std::errc() && p == tok.data() + tok.size()) return Json(v);
+    }
+    try {
+      return Json(std::stod(tok));
+    } catch (const std::exception&) {
+      fail("bad number '" + tok + "'");
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= t_.size()) fail("unterminated string");
+      char c = t_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= t_.size()) fail("unterminated escape");
+      char e = t_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > t_.size()) fail("short \\u escape");
+          unsigned v = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = t_[pos_++];
+            v <<= 4;
+            if (h >= '0' && h <= '9') v |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') v |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') v |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // Artifacts only ever escape control characters; encode as UTF-8
+          // for anything under 0x80 and refuse the rest.
+          if (v >= 0x80) fail("non-ASCII \\u escape unsupported");
+          out += static_cast<char>(v);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  Json array() {
+    expect('[');
+    Json a = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return a;
+    }
+    for (;;) {
+      a.push(value());
+      skip_ws();
+      char c = peek();
+      ++pos_;
+      if (c == ']') return a;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  Json object() {
+    expect('{');
+    Json o = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return o;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      o[key] = value();
+      skip_ws();
+      char c = peek();
+      ++pos_;
+      if (c == '}') return o;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  const std::string& t_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace horus::check

@@ -1,0 +1,108 @@
+// Minimal JSON value for horus-check artifacts (repro.json, scenario
+// files). Self-contained on purpose: the container bakes in no JSON
+// library, and a repro artifact must stay readable by both this tool and a
+// human. Only what the artifact schema needs: null/bool/integer/double/
+// string/array/object, exact 64-bit integers (seeds and hashes do not
+// survive a double round-trip), ordered object keys for stable diffs.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace horus::check {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() = default;
+  Json(bool b) : type_(Type::kBool), b_(b) {}                    // NOLINT
+  Json(std::uint64_t v) : type_(Type::kInt), i_(v) {}            // NOLINT
+  Json(int v) : type_(Type::kInt), i_(static_cast<std::uint64_t>(v)) {
+    if (v < 0) throw std::invalid_argument("Json: negative integer");
+  }  // NOLINT
+  Json(double v) : type_(Type::kDouble), d_(v) {}                // NOLINT
+  Json(std::string s) : type_(Type::kString), s_(std::move(s)) {}// NOLINT
+  Json(const char* s) : type_(Type::kString), s_(s) {}           // NOLINT
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+
+  [[nodiscard]] bool as_bool() const {
+    expect(Type::kBool);
+    return b_;
+  }
+  [[nodiscard]] std::uint64_t as_u64() const {
+    expect(Type::kInt);
+    return i_;
+  }
+  /// Numeric accessor that accepts both integer and double encodings
+  /// (0.05 and 0 both appear in scenario fields).
+  [[nodiscard]] double as_double() const {
+    if (type_ == Type::kInt) return static_cast<double>(i_);
+    expect(Type::kDouble);
+    return d_;
+  }
+  [[nodiscard]] const std::string& as_string() const {
+    expect(Type::kString);
+    return s_;
+  }
+
+  // -- arrays ----------------------------------------------------------------
+  void push(Json v) {
+    expect(Type::kArray);
+    arr_.push_back(std::move(v));
+  }
+  [[nodiscard]] const std::vector<Json>& items() const {
+    expect(Type::kArray);
+    return arr_;
+  }
+
+  // -- objects (insertion-ordered) -------------------------------------------
+  Json& operator[](const std::string& key);
+  [[nodiscard]] const Json* find(const std::string& key) const;
+  /// Lookup that throws a message naming the key (artifact schema errors
+  /// should say what is missing, not just "bad access").
+  [[nodiscard]] const Json& at(const std::string& key) const;
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& entries()
+      const {
+    expect(Type::kObject);
+    return obj_;
+  }
+
+  /// Serialize; indent > 0 pretty-prints with that many spaces per level.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+  /// Parse; throws std::runtime_error with a byte offset on malformed input.
+  static Json parse(const std::string& text);
+
+ private:
+  void expect(Type t) const {
+    if (type_ != t) throw std::runtime_error("Json: wrong type access");
+  }
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool b_ = false;
+  std::uint64_t i_ = 0;
+  double d_ = 0.0;
+  std::string s_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+}  // namespace horus::check

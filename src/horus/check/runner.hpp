@@ -1,0 +1,71 @@
+// The horus-check runner: execute one (scenario, seed) pair in the
+// deterministic simulator and judge it against the oracles.
+//
+// Everything nondeterministic about a run is a pure function of the
+// scenario and the seed: the network's per-datagram fault decisions come
+// from RngFaultPolicy's split streams, the crash/partition schedule from
+// derive_plan, and execution order from the single-threaded GroupExecutor
+// over the tie-break-stable scheduler. Re-running with the same inputs is
+// therefore a bit-identical replay, which RunResult::event_hash (the
+// observation log) and dispatch_hash (every executor dispatch decision)
+// verify.
+//
+// RunOptions lets the shrinker intervene without perturbing anything else:
+// `plan` overrides the derived fault schedule (to delete events), and
+// `mask` neutralizes individual network fault decisions by index (the
+// decision still consumes its RNG draws, so all other decisions are
+// untouched). Any masked execution is a valid nondeterministic execution
+// of the same scenario -- a fault that merely *could* have happened,
+// didn't -- which is what makes shrinking sound.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "horus/check/oracle.hpp"
+#include "horus/check/scenario.hpp"
+#include "horus/properties/property.hpp"
+
+namespace horus::check {
+
+struct RunOptions {
+  /// Replace the seed-derived fault schedule (replay / shrink).
+  std::optional<Plan> plan;
+  /// Network fault decision indices to neutralize: the decision keeps its
+  /// latency draw but loses its drop/duplicate/corrupt flags.
+  std::vector<std::uint64_t> mask;
+  /// Record the indices of the fault decisions that actually injected a
+  /// fault (feeds the shrinker's mask candidates).
+  bool record = false;
+  /// Keep the full observation logs in the result (diagnostics; off for
+  /// bulk exploration, where only violations and hashes matter).
+  bool keep_log = false;
+};
+
+struct RunResult {
+  std::vector<Violation> violations;
+  OracleSet oracles = 0;        ///< oracles actually evaluated
+  std::uint64_t event_hash = 0; ///< hash of the observation logs
+  std::uint64_t dispatch_hash = 0;  ///< hash of executor dispatch decisions
+  Plan plan;                    ///< the fault schedule actually used
+  std::uint64_t decisions = 0;  ///< network fault decisions consumed
+  std::vector<std::uint64_t> faulty;  ///< faulty decision indices (record)
+  RunLog log;                   ///< populated when keep_log
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+};
+
+/// Execute one run. Throws std::invalid_argument for a malformed stack
+/// spec; protocol behaviour (however broken) never throws -- it shows up
+/// as violations.
+[[nodiscard]] RunResult run_scenario(const Scenario& scn, std::uint64_t seed,
+                                     const RunOptions& opts = {});
+
+/// The oracles "auto" resolves to for a stack providing `provided`:
+/// exactly the guarantees the stack claims (no-dup for P4, virtual
+/// synchrony for P9, total order for P6, causal for P5, stability for P14,
+/// view agreement for P15).
+[[nodiscard]] OracleSet auto_oracles(props::PropertySet provided);
+
+}  // namespace horus::check

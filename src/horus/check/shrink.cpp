@@ -1,0 +1,152 @@
+#include "horus/check/shrink.hpp"
+
+#include <algorithm>
+
+namespace horus::check {
+
+Json Repro::to_json() const {
+  Json j = Json::object();
+  j["version"] = version;
+  j["scenario"] = scenario.to_json();
+  j["seed"] = seed;
+  j["plan"] = plan_to_json(plan);
+  Json m = Json::array();
+  for (std::uint64_t i : mask) m.push(i);
+  j["mask"] = std::move(m);
+  j["event_hash"] = event_hash;
+  j["dispatch_hash"] = dispatch_hash;
+  Json v = Json::array();
+  for (const std::string& s : violations) v.push(s);
+  j["violations"] = std::move(v);
+  return j;
+}
+
+Repro Repro::from_json(const Json& j) {
+  Repro r;
+  r.version = static_cast<int>(j.at("version").as_u64());
+  r.scenario = Scenario::from_json(j.at("scenario"));
+  r.seed = j.at("seed").as_u64();
+  r.plan = plan_from_json(j.at("plan"));
+  for (const Json& i : j.at("mask").items()) r.mask.push_back(i.as_u64());
+  r.event_hash = j.at("event_hash").as_u64();
+  r.dispatch_hash = j.at("dispatch_hash").as_u64();
+  if (const Json* v = j.find("violations")) {
+    for (const Json& s : v->items()) r.violations.push_back(s.as_string());
+  }
+  return r;
+}
+
+RunResult replay(const Repro& r) {
+  RunOptions opts;
+  opts.plan = r.plan;
+  opts.mask = r.mask;
+  opts.keep_log = true;
+  opts.record = true;
+  return run_scenario(r.scenario, r.seed, opts);
+}
+
+namespace {
+
+/// One shrink probe: does the run still fail with this plan and mask?
+struct Prober {
+  const Scenario& scn;
+  std::uint64_t seed;
+  int budget;
+  int runs = 0;
+
+  bool exhausted() const { return runs >= budget; }
+
+  RunResult probe(const Plan& plan, const std::vector<std::uint64_t>& mask) {
+    ++runs;
+    RunOptions opts;
+    opts.plan = plan;
+    opts.mask = mask;
+    opts.record = true;
+    return run_scenario(scn, seed, opts);
+  }
+};
+
+}  // namespace
+
+Repro shrink(const Scenario& scn, std::uint64_t seed,
+             const RunResult& failing, ShrinkStats* stats, int budget) {
+  Prober pr{scn, seed, budget};
+
+  Plan plan = failing.plan;
+  std::vector<std::uint64_t> mask;
+  // The best failing run seen so far; refreshed after every accepted step
+  // so the final hashes describe exactly the (plan, mask) we emit.
+  RunResult best = failing;
+
+  ShrinkStats st;
+  st.plan_before = plan.size();
+  st.faults_before = failing.faulty.size();
+
+  // -- phase 1: drop plan events, greedily, to fixpoint --------------------
+  bool changed = true;
+  while (changed && !pr.exhausted()) {
+    changed = false;
+    for (std::size_t i = 0; i < plan.size() && !pr.exhausted(); ++i) {
+      Plan candidate = plan;
+      candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+      RunResult r = pr.probe(candidate, mask);
+      if (!r.ok()) {
+        plan = std::move(candidate);
+        best = std::move(r);
+        changed = true;
+        --i;  // the next event shifted into this slot
+      }
+    }
+  }
+
+  // -- phase 2: delta-debug the per-datagram faults ------------------------
+  // Mask chunks of the current run's injected faults; a chunk whose
+  // masking keeps the failure is locked into the mask. Halve until single
+  // faults have been tried. `best.faulty` tracks the faults actually
+  // injected under the current mask (re-recorded each accepted step).
+  std::size_t chunk = std::max<std::size_t>(1, best.faulty.size() / 2);
+  for (;;) {
+    bool any = false;
+    const std::vector<std::uint64_t> faults = best.faulty;
+    for (std::size_t at = 0; at < faults.size() && !pr.exhausted();
+         at += chunk) {
+      std::size_t end = std::min(at + chunk, faults.size());
+      std::vector<std::uint64_t> candidate = mask;
+      candidate.insert(candidate.end(), faults.begin() + at,
+                       faults.begin() + end);
+      RunResult r = pr.probe(plan, candidate);
+      if (!r.ok()) {
+        mask = std::move(candidate);
+        best = std::move(r);
+        any = true;
+        break;  // the fault list changed; restart over the new one
+      }
+    }
+    if (pr.exhausted()) break;
+    if (!any) {
+      if (chunk == 1) break;
+      chunk = std::max<std::size_t>(1, chunk / 2);
+    }
+  }
+
+  std::sort(mask.begin(), mask.end());
+  st.plan_after = plan.size();
+  st.faults_after = best.faulty.size();
+  st.runs = pr.runs;
+  if (stats) *stats = st;
+
+  Repro out;
+  out.scenario = scn;
+  out.scenario.sanitize();
+  out.seed = seed;
+  out.plan = std::move(plan);
+  out.mask = std::move(mask);
+  out.event_hash = best.event_hash;
+  out.dispatch_hash = best.dispatch_hash;
+  for (const Violation& v : best.violations) {
+    out.violations.push_back(v.to_string());
+  }
+  return out;
+}
+
+}  // namespace horus::check

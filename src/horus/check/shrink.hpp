@@ -1,0 +1,69 @@
+// Greedy shrinking of failing horus-check runs, and the replayable
+// artifact (repro.json) a shrink produces.
+//
+// A failing run is described by (scenario, seed, plan, mask): the plan is
+// the explicit crash/partition schedule, the mask the set of network fault
+// decisions forced clean. Shrinking minimizes the *fault schedule* while
+// the failure persists:
+//
+//   1. plan events are removed one at a time (greedy, to fixpoint) --
+//      fewer crashes and partitions in the repro;
+//   2. the per-datagram faults are delta-debugged: chunks of the failing
+//      run's injected-fault indices are added to the mask while the
+//      violation survives, halving the chunk size down to single faults.
+//
+// Every intermediate execution is a valid nondeterministic execution of
+// the same scenario (a masked fault is one that legally didn't happen),
+// so whatever still fails at the end is a true, minimal-ish witness. The
+// artifact records the expected event/dispatch hashes; replaying it and
+// comparing hashes proves bit-identical reproduction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "horus/check/runner.hpp"
+
+namespace horus::check {
+
+/// The repro.json artifact: everything needed to re-execute one failing
+/// run bit-identically, plus what it is expected to show.
+struct Repro {
+  int version = 1;
+  Scenario scenario;
+  std::uint64_t seed = 0;
+  Plan plan;
+  std::vector<std::uint64_t> mask;  ///< suppressed fault decision indices
+  std::uint64_t event_hash = 0;     ///< expected observation-log hash
+  std::uint64_t dispatch_hash = 0;  ///< expected executor-dispatch hash
+  std::vector<std::string> violations;  ///< human-readable, informational
+
+  [[nodiscard]] Json to_json() const;
+  static Repro from_json(const Json& j);
+  /// Pretty-printed JSON text / parse thereof (file I/O is the caller's).
+  [[nodiscard]] std::string dump() const { return to_json().dump(2) + "\n"; }
+  static Repro load(const std::string& text) {
+    return from_json(Json::parse(text));
+  }
+};
+
+/// Re-execute a repro exactly (same plan, same mask, logs kept). The
+/// caller compares event_hash/dispatch_hash against the artifact's.
+[[nodiscard]] RunResult replay(const Repro& r);
+
+struct ShrinkStats {
+  int runs = 0;  ///< executions spent shrinking
+  std::size_t plan_before = 0, plan_after = 0;
+  std::size_t faults_before = 0, faults_after = 0;
+};
+
+/// Shrink a failing (scenario, seed) run into a minimal repro. `failing`
+/// must be the result of a recorded run (RunOptions::record) that has
+/// violations; `budget` caps the number of re-executions. Never loses the
+/// failure: if nothing can be removed, the repro is the original run.
+[[nodiscard]] Repro shrink(const Scenario& scn, std::uint64_t seed,
+                           const RunResult& failing,
+                           ShrinkStats* stats = nullptr, int budget = 300);
+
+}  // namespace horus::check

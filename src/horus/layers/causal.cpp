@@ -10,7 +10,11 @@ using props::Property;
 LayerInfo make_info() {
   LayerInfo li;
   li.name = "CAUSAL";
-  li.fields = {{"kind", 1}};
+  // "view" scopes the vector timestamp: a cast issued during a view-change
+  // flush is stamped in the old view but may be deferred by MBRSHIP below
+  // and re-assigned to the new one; receivers must not judge a new-view
+  // delivery against an old-view vector.
+  li.fields = {{"kind", 1}, {"view", 8}};
   li.uses_var = true;  // the vector timestamp
   li.spec.name = "CAUSAL";  // Table 3 calls this row ORDER(causal)
   li.spec.requires_below = props::make_set(
@@ -60,13 +64,13 @@ void Causal::down(Group& g, DownEvent& ev) {
       ++st.vt[*rank];
       Writer w;
       encode_vt(w, st.vt);
-      std::uint64_t fields[] = {kData};
+      std::uint64_t fields[] = {kData, g.view().id().seq};
       stack().push_header(ev.msg, *this, fields, w.data());
       pass_down(g, ev);
       return;
     }
     case DownType::kSend: {
-      std::uint64_t fields[] = {kPass};
+      std::uint64_t fields[] = {kPass, 0};
       stack().push_header(ev.msg, *this, fields, {});
       pass_down(g, ev);
       return;
@@ -78,11 +82,17 @@ void Causal::down(Group& g, DownEvent& ev) {
 }
 
 bool Causal::deliverable(const State& st, std::size_t sender_rank,
+                         std::size_t self_rank,
                          const std::vector<std::uint64_t>& t) const {
   for (std::size_t k = 0; k < t.size(); ++k) {
     std::uint64_t mine = k < st.vt.size() ? st.vt[k] : 0;
     if (k == sender_rank) {
       if (t[k] != mine + 1) return false;
+    } else if (k == self_rank) {
+      // vt[self] advances at send time, but a dependency on our own Nth
+      // cast is only satisfied once that cast has looped back up --
+      // otherwise the app would observe the effect before its own cause.
+      if (t[k] > st.self_up) return false;
     } else if (t[k] > mine) {
       return false;
     }
@@ -104,13 +114,15 @@ void Causal::deliver(Group& g, State& st, Held h) {
 }
 
 void Causal::drain(Group& g, State& st) {
+  auto self = g.view().rank_of(stack().address());
+  std::size_t self_rank = self.value_or(static_cast<std::size_t>(-1));
   bool progressed = true;
   while (progressed) {
     progressed = false;
     for (std::size_t i = 0; i < st.held.size(); ++i) {
       auto rank = g.view().rank_of(st.held[i].source);
       if (!rank.has_value()) continue;
-      if (deliverable(st, *rank, st.held[i].vt)) {
+      if (deliverable(st, *rank, self_rank, st.held[i].vt)) {
         Held h = std::move(st.held[i]);
         st.held.erase(st.held.begin() + static_cast<std::ptrdiff_t>(i));
         deliver(g, st, std::move(h));
@@ -145,16 +157,36 @@ void Causal::up(Group& g, UpEvent& ev) {
       }
       auto rank = g.view().rank_of(ev.source);
       if (!rank.has_value()) return;
+      std::uint64_t msg_view = h.fields[1];
+      bool same_view = msg_view == g.view().id().seq;
       if (ev.source == stack().address()) {
         // Our own multicast looping back: its dependencies are exactly the
         // messages we had delivered before casting, and our vt entry was
-        // already advanced at send time -- deliver immediately.
+        // already advanced at send time -- deliver immediately, then drain:
+        // peer messages that depend on this cast may have been held.
+        // self_up only counts loopbacks of *this view's* casts; a cast
+        // deferred across a view change was stamped under the old view.
         ++st.delivered;
+        if (same_view) ++st.self_up;
         pass_up(g, ev);
+        drain(g, st);
         return;
       }
+      if (!same_view) {
+        // Stamped in another view (the sender cast during a flush and
+        // MBRSHIP deferred it into this one): its old-view predecessors
+        // were settled by the view-change flush, and its vector indexes
+        // the wrong membership -- deliver immediately, untimestamped.
+        ++st.delivered;
+        pass_up(g, ev);
+        drain(g, st);
+        return;
+      }
+      auto self = g.view().rank_of(stack().address());
       Held held{ev.source, ev.msg_id, std::move(t), std::move(ev.msg)};
-      if (deliverable(st, *rank, held.vt)) {
+      if (deliverable(st, *rank,
+                      self.value_or(static_cast<std::size_t>(-1)),
+                      held.vt)) {
         deliver(g, st, std::move(held));
         drain(g, st);
       } else {
@@ -182,6 +214,7 @@ void Causal::up(Group& g, UpEvent& ev) {
       }
       st.held.clear();
       st.vt.assign(ev.view.size(), 0);
+      st.self_up = 0;
       pass_up(g, ev);
       return;
     }

@@ -41,9 +41,17 @@ class Causal final : public Layer {
     std::vector<Held> held;
     std::uint64_t delivered = 0;
     std::uint64_t delayed = 0;  ///< messages that had to wait (stats)
+    /// Own casts that have looped back up to the application this view.
+    /// Distinct from vt[self], which counts at *send* time: a peer message
+    /// depending on our Nth cast must wait until that cast has actually
+    /// been delivered locally, or the app would see the effect before its
+    /// own cause (e.g. when the self-loopback packet is lost and
+    /// retransmitted).
+    std::uint64_t self_up = 0;
   };
 
   bool deliverable(const State& st, std::size_t sender_rank,
+                   std::size_t self_rank,
                    const std::vector<std::uint64_t>& t) const;
   void drain(Group& g, State& st);
   void deliver(Group& g, State& st, Held h);

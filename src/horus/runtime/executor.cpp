@@ -55,6 +55,7 @@ void GroupExecutor::post(GroupKey key, Task t) {
     q.pop_front();
     if (q.empty()) groups_.erase(it);  // keep the map from growing unbounded
     ++executed_;
+    if (trace_) trace_(k, executed_);
     task();  // may throw: guard unlatches running_, the rest stay queued
   }
 }

@@ -107,6 +107,13 @@ class GroupExecutor final : public Executor {
   void post(Task t) override { post(kNoGroup, std::move(t)); }
   void post(GroupKey key, Task t) override;
 
+  /// Observe every dispatch decision: called with (group, dispatch
+  /// sequence) immediately before each task runs. horus-check folds this
+  /// stream into its run hash so that a replay divergence in *scheduling*
+  /// (not just in application-visible events) is detected. Null clears.
+  using DispatchTrace = std::function<void(GroupKey, std::uint64_t)>;
+  void set_trace(DispatchTrace t) { trace_ = std::move(t); }
+
   /// Queued (not yet started) tasks across all groups / for one group.
   [[nodiscard]] std::size_t pending() const { return order_.size(); }
   [[nodiscard]] std::size_t pending(GroupKey key) const {
@@ -122,6 +129,7 @@ class GroupExecutor final : public Executor {
   std::deque<GroupKey> order_;
   std::uint64_t executed_ = 0;
   bool running_ = false;
+  DispatchTrace trace_;
 };
 
 /// Event-counter model: tasks carry sequence numbers assigned at post time

@@ -4,6 +4,39 @@
 
 namespace horus::sim {
 
+RngFaultPolicy::RngFaultPolicy(std::uint64_t seed)
+    : loss_(stream_seed(seed, fnv1a64("net-loss"))),
+      dup_(stream_seed(seed, fnv1a64("net-duplicate"))),
+      corrupt_(stream_seed(seed, fnv1a64("net-corrupt"))),
+      delay_(stream_seed(seed, fnv1a64("net-delay"))) {}
+
+FaultDecision RngFaultPolicy::decide(std::uint64_t /*index*/, NodeId /*src*/,
+                                     NodeId /*dst*/, std::size_t /*size*/,
+                                     const LinkParams& p) {
+  // Every stream is consumed the same number of times per decision,
+  // whatever the outcome, so decision i depends only on (seed, i).
+  FaultDecision d;
+  d.drop = loss_.chance(p.loss);
+  d.duplicate = dup_.chance(p.duplicate);
+  bool corrupt = corrupt_.chance(p.corrupt);
+  std::uint64_t cseed = corrupt_.next_u64();
+  if (corrupt) d.corrupt_seed = cseed | 1;  // nonzero marks "garble"
+  Duration window = p.delay_max > p.delay_min ? p.delay_max - p.delay_min : 0;
+  d.delay = p.delay_min + delay_.next_below(window);
+  d.dup_delay = p.delay_min + delay_.next_below(window);
+  return d;
+}
+
+void SimNetwork::set_fault_policy(std::shared_ptr<FaultPolicy> p) {
+  std::lock_guard lock(mu_);
+  policy_ = std::move(p);
+}
+
+std::uint64_t SimNetwork::decisions_made() const {
+  std::lock_guard lock(mu_);
+  return next_decision_;
+}
+
 void SimNetwork::attach(NodeId node, Handler handler) {
   handlers_[node] = std::move(handler);
 }
@@ -57,8 +90,8 @@ void SimNetwork::send(NodeId src, NodeId dst, ByteSpan data) {
   stats_.sent.fetch_add(1, std::memory_order_relaxed);
   stats_.bytes_sent.fetch_add(data.size(), std::memory_order_relaxed);
   // One lock for the whole decision: link params, partition state and the
-  // RNG draws must stay coherent (and in a fixed draw order, for
-  // determinism) even when many shards send at once.
+  // fault decision must stay coherent (and decisions must be made in a
+  // fixed order, for determinism) even when many shards send at once.
   std::lock_guard lock(mu_);
   const LinkParams& p = params_for_locked(src, dst);
   if (data.size() > p.mtu) {
@@ -69,7 +102,9 @@ void SimNetwork::send(NodeId src, NodeId dst, ByteSpan data) {
     stats_.dropped_partition.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  if (rng_.chance(p.loss)) {
+  FaultDecision d =
+      policy_->decide(next_decision_++, src, dst, data.size(), p);
+  if (d.drop) {
     stats_.dropped_loss.fetch_add(1, std::memory_order_relaxed);
     return;
   }
@@ -77,30 +112,28 @@ void SimNetwork::send(NodeId src, NodeId dst, ByteSpan data) {
   // fresh receive buffer); every delivery of this datagram -- duplicates
   // included -- shares it from here on.
   Bytes copy(data.begin(), data.end());
-  if (rng_.chance(p.corrupt) && !copy.empty()) {
+  if (d.corrupt_seed != 0 && !copy.empty()) {
     stats_.corrupted.fetch_add(1, std::memory_order_relaxed);
-    // Flip 1-4 random bytes.
-    std::uint64_t flips = 1 + rng_.next_below(4);
+    // Flip 1-4 bytes chosen by the decision's private stream, so the exact
+    // garbling replays with the decision.
+    Rng garble(d.corrupt_seed);
+    std::uint64_t flips = 1 + garble.next_below(4);
     for (std::uint64_t i = 0; i < flips; ++i) {
-      copy[rng_.next_below(copy.size())] ^=
-          static_cast<std::uint8_t>(1 + rng_.next_below(255));
+      copy[garble.next_below(copy.size())] ^=
+          static_cast<std::uint8_t>(1 + garble.next_below(255));
     }
   }
   auto shared = std::make_shared<const Bytes>(std::move(copy));
-  if (rng_.chance(p.duplicate)) {
+  if (d.duplicate) {
     stats_.duplicated.fetch_add(1, std::memory_order_relaxed);
-    deliver_later_locked(src, dst, shared, p);
+    deliver_at_locked(src, dst, shared, d.dup_delay);
   }
-  deliver_later_locked(src, dst, std::move(shared), p);
+  deliver_at_locked(src, dst, std::move(shared), d.delay);
 }
 
-void SimNetwork::deliver_later_locked(NodeId src, NodeId dst,
-                                      std::shared_ptr<const Bytes> data,
-                                      const LinkParams& p) {
-  Duration jitter = p.delay_max > p.delay_min
-                        ? rng_.next_below(p.delay_max - p.delay_min)
-                        : 0;
-  Duration delay = p.delay_min + jitter;
+void SimNetwork::deliver_at_locked(NodeId src, NodeId dst,
+                                   std::shared_ptr<const Bytes> data,
+                                   Duration delay) {
   sched_.schedule(delay, [this, src, dst, data = std::move(data)]() {
     // Runs on the driver thread. handlers_ is confined to it; partition
     // state is shared, so check it under the lock but call the handler

@@ -39,6 +39,50 @@ struct LinkParams {
   std::size_t mtu = 1400;   ///< datagrams larger than this are dropped
 };
 
+/// The concrete fate chosen for one datagram send. Everything random about
+/// a delivery is decided up front and captured here, so a decision can be
+/// recorded, replayed, or selectively neutralized (horus-check's shrinker)
+/// without re-running the generator.
+struct FaultDecision {
+  bool drop = false;             ///< silently lose the datagram
+  bool duplicate = false;        ///< deliver a second copy
+  std::uint64_t corrupt_seed = 0;///< nonzero: garble bytes using this seed
+  Duration delay = 0;            ///< latency of the primary copy
+  Duration dup_delay = 0;        ///< latency of the duplicate, if any
+
+  [[nodiscard]] bool faulty() const {
+    return drop || duplicate || corrupt_seed != 0;
+  }
+};
+
+/// Chooses the fate of each datagram. `index` is the network's global send
+/// counter (only sends that reach the fault stage -- past the MTU and
+/// partition checks -- consume an index), which gives every decision a
+/// stable identity for record/replay. Implementations must be
+/// deterministic functions of (their seed, index, arguments); they are
+/// invoked under the network lock, in send order.
+class FaultPolicy {
+ public:
+  virtual ~FaultPolicy() = default;
+  virtual FaultDecision decide(std::uint64_t index, NodeId src, NodeId dst,
+                               std::size_t size, const LinkParams& p) = 0;
+};
+
+/// The default policy: per-fault-source split RNG streams derived from the
+/// network seed (util/rng.hpp stream_seed). Each decision consumes a fixed
+/// number of draws from each stream regardless of outcome, so decision
+/// `index` is a pure function of (seed, index) -- masking one fault during
+/// replay cannot shift any other draw.
+class RngFaultPolicy final : public FaultPolicy {
+ public:
+  explicit RngFaultPolicy(std::uint64_t seed);
+  FaultDecision decide(std::uint64_t index, NodeId src, NodeId dst,
+                       std::size_t size, const LinkParams& p) override;
+
+ private:
+  Rng loss_, dup_, corrupt_, delay_;
+};
+
 /// Counters for observability and the benchmark harness. Atomics: sends
 /// arrive from every executor shard concurrently, and counting must not
 /// serialize them (ISSUE: atomics, not locks, on the hot path).
@@ -69,7 +113,7 @@ class SimNetwork {
       std::function<void(NodeId src, std::shared_ptr<const Bytes> data)>;
 
   SimNetwork(Scheduler& sched, std::uint64_t seed = 0x5eed)
-      : sched_(sched), rng_(seed) {}
+      : sched_(sched), policy_(std::make_shared<RngFaultPolicy>(seed)) {}
 
   /// Attach a node; `handler` is invoked on each delivered datagram.
   void attach(NodeId node, Handler handler);
@@ -100,22 +144,30 @@ class SimNetwork {
   [[nodiscard]] const NetStats& stats() const { return stats_; }
   void reset_stats() { stats_.reset(); }
 
+  /// Replace the fault policy (horus-check installs recording / replaying /
+  /// masking policies here). Install before traffic starts: swapping
+  /// mid-run invalidates the decision indices recorded so far.
+  void set_fault_policy(std::shared_ptr<FaultPolicy> p);
+  /// Number of fault decisions made so far (the next decision's index).
+  [[nodiscard]] std::uint64_t decisions_made() const;
+
   [[nodiscard]] Scheduler& scheduler() { return sched_; }
 
  private:
   const LinkParams& params_for_locked(NodeId src, NodeId dst) const;
   bool can_reach_locked(NodeId a, NodeId b) const;
-  void deliver_later_locked(NodeId src, NodeId dst,
-                            std::shared_ptr<const Bytes> data,
-                            const LinkParams& p);
+  void deliver_at_locked(NodeId src, NodeId dst,
+                         std::shared_ptr<const Bytes> data, Duration delay);
 
   Scheduler& sched_;
-  // mu_ guards the RNG, link parameters and partition state: send() runs on
-  // executor shard threads while the driver thread reconfigures the world.
-  // handlers_ is confined to the driver thread (attach/crash and deliveries
-  // all happen there), so handler invocation never holds the lock.
+  // mu_ guards the fault policy, link parameters and partition state:
+  // send() runs on executor shard threads while the driver thread
+  // reconfigures the world. handlers_ is confined to the driver thread
+  // (attach/crash and deliveries all happen there), so handler invocation
+  // never holds the lock.
   mutable std::mutex mu_;
-  Rng rng_;
+  std::shared_ptr<FaultPolicy> policy_;
+  std::uint64_t next_decision_ = 0;
   LinkParams default_params_;
   std::unordered_map<NodeId, Handler> handlers_;
   std::map<std::pair<NodeId, NodeId>, LinkParams> link_params_;

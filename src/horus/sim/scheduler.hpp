@@ -6,9 +6,21 @@
 // (including crashes, partitions and message loss) bit-for-bit reproducible,
 // which is what the integration tests and the Figure 2 scenario rely on.
 //
-// Time is in microseconds. Events at equal times fire in scheduling order
-// (a monotonically increasing tiebreak sequence), so the simulation is
-// deterministic even with many simultaneous events.
+// Time is in microseconds.
+//
+// Tie-break guarantee: events with equal deadlines fire strictly in
+// scheduling order. Every schedule() call is stamped, under the queue
+// lock, with a monotonically increasing sequence number, and the priority
+// queue orders by (deadline, sequence). Two runs that issue the same
+// schedule() calls in the same order therefore fire events in exactly the
+// same order -- which is what makes recorded executions (horus-check's
+// trace record/replay) bit-identical, independent of hash-map iteration
+// order or timer-id values. The sequence is assigned at post time, so the
+// guarantee holds across any shard count *provided posting order is
+// deterministic*: with the default single-threaded GroupExecutor it always
+// is; with a ShardedExecutor, posting order (and hence equal-deadline
+// order) depends on kernel-thread interleaving, which is why horus-check
+// scenarios always run with shards = 0.
 //
 // Thread safety: schedule/cancel/now/next_due may be called from any thread
 // (layer code runs on ShardedExecutor workers while the driver thread runs

@@ -25,6 +25,36 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+/// Derive the seed of an independent, named substream of `base`.
+///
+/// Splittable seeding: every consumer of randomness derives its own stream
+/// seed from (base seed, stream tag) instead of sharing one generator, so
+/// adding or removing one consumer -- a new fault source in the simulated
+/// network, an extra draw in a scenario generator -- can never perturb the
+/// draws any *other* consumer sees for the same base seed. This is what
+/// keeps recorded executions replayable across code changes.
+inline std::uint64_t stream_seed(std::uint64_t base, std::uint64_t stream) {
+  SplitMix64 sm(base + 0x9e3779b97f4a7c15ULL * (stream + 1));
+  std::uint64_t a = sm.next();
+  return a ^ sm.next();
+}
+
+/// FNV-1a tag for naming streams ("loss", "delay", ...) and hashing event
+/// logs. constexpr so stream tags are compile-time constants.
+constexpr std::uint64_t fnv1a64(const char* s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (; *s; ++s) h = (h ^ static_cast<unsigned char>(*s)) * 0x100000001b3ULL;
+  return h;
+}
+constexpr std::uint64_t fnv1a64_step(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h = (h ^ (v & 0xff)) * 0x100000001b3ULL;
+    v >>= 8;
+  }
+  return h;
+}
+constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ULL;
+
 /// xoshiro256** -- the workhorse generator.
 class Rng {
  public:

@@ -1,0 +1,70 @@
+// The minimal JSON class behind horus-check artifacts: exact 64-bit
+// integers, ordered keys, and a parse/dump round trip that preserves both.
+#include "horus/check/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace horus::check {
+namespace {
+
+TEST(CheckJson, ScalarRoundTrip) {
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json().dump(), "null");
+  EXPECT_EQ(Json("hi \"there\"\n").dump(), "\"hi \\\"there\\\"\\n\"");
+  EXPECT_EQ(Json(42).dump(), "42");
+}
+
+TEST(CheckJson, ExactU64) {
+  // Seeds and hashes use the full 64-bit range; a double round trip would
+  // silently corrupt them.
+  std::uint64_t big = 18446744073709551615ull;
+  Json j(big);
+  EXPECT_EQ(j.as_u64(), big);
+  Json back = Json::parse(j.dump());
+  EXPECT_EQ(back.as_u64(), big);
+}
+
+TEST(CheckJson, ObjectPreservesInsertionOrder) {
+  Json j = Json::object();
+  j["zebra"] = Json(1);
+  j["alpha"] = Json(2);
+  j["mid"] = Json(3);
+  EXPECT_EQ(j.dump(), R"({"zebra":1,"alpha":2,"mid":3})");
+  EXPECT_EQ(j.entries()[0].first, "zebra");
+  EXPECT_EQ(j.at("alpha").as_u64(), 2u);
+  EXPECT_EQ(j.find("nope"), nullptr);
+  EXPECT_THROW(j.at("nope"), std::exception);
+}
+
+TEST(CheckJson, NestedRoundTrip) {
+  Json j = Json::object();
+  j["list"] = Json::array();
+  j["list"].push(Json(1));
+  j["list"].push(Json("two"));
+  j["list"].push(Json(3.5));
+  j["inner"]["deep"] = Json(false);
+  Json back = Json::parse(j.dump(2));
+  EXPECT_EQ(back.at("list").items().size(), 3u);
+  EXPECT_EQ(back.at("list").items()[1].as_string(), "two");
+  EXPECT_DOUBLE_EQ(back.at("list").items()[2].as_double(), 3.5);
+  EXPECT_FALSE(back.at("inner").at("deep").as_bool());
+}
+
+TEST(CheckJson, ParseErrorsCarryOffset) {
+  EXPECT_THROW(Json::parse("{\"a\": }"), std::runtime_error);
+  EXPECT_THROW(Json::parse("[1, 2"), std::runtime_error);
+  EXPECT_THROW(Json::parse(""), std::runtime_error);
+  EXPECT_THROW(Json::parse("{} trailing"), std::runtime_error);
+}
+
+TEST(CheckJson, WrongTypeAccessThrows) {
+  Json j(42);
+  EXPECT_THROW(j.as_string(), std::runtime_error);
+  EXPECT_THROW(j.items(), std::runtime_error);
+  // as_double accepts integers (scenario fields like loss=0 parse as int).
+  EXPECT_DOUBLE_EQ(j.as_double(), 42.0);
+}
+
+}  // namespace
+}  // namespace horus::check

@@ -194,5 +194,87 @@ TEST(SimNetwork, StatsAccumulate) {
   EXPECT_EQ(r.net.stats().sent, 0u);
 }
 
+TEST(FaultPolicy, DecisionIsPureFunctionOfSeedAndIndex) {
+  // Two policies with the same seed, fed the same index sequence, agree on
+  // every decision -- the foundation of horus-check's record/replay.
+  LinkParams p;
+  p.loss = 0.2;
+  p.duplicate = 0.1;
+  p.corrupt = 0.05;
+  RngFaultPolicy a(99), b(99);
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    FaultDecision da = a.decide(i, 1, 2, 100, p);
+    FaultDecision db = b.decide(i, 1, 2, 100, p);
+    EXPECT_EQ(da.drop, db.drop);
+    EXPECT_EQ(da.duplicate, db.duplicate);
+    EXPECT_EQ(da.corrupt_seed, db.corrupt_seed);
+    EXPECT_EQ(da.delay, db.delay);
+    EXPECT_EQ(da.dup_delay, db.dup_delay);
+  }
+}
+
+TEST(FaultPolicy, ChangingOneDecisionDoesNotShiftOthers) {
+  // Every decision consumes a fixed number of draws from each split
+  // stream, so changing the *parameters* of some decisions (here: forcing
+  // loss on and off) must leave all other decisions' draws untouched.
+  // This is what makes the shrinker's masking sound.
+  LinkParams quiet;
+  quiet.loss = 0.0;
+  quiet.duplicate = 0.0;
+  LinkParams noisy = quiet;
+  noisy.loss = 1.0;
+  noisy.duplicate = 1.0;
+  noisy.corrupt = 1.0;
+
+  RngFaultPolicy a(7), b(7);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    // Policy a sees quiet params throughout; policy b gets noisy params on
+    // every third decision.
+    FaultDecision da = a.decide(i, 1, 2, 64, quiet);
+    FaultDecision db = b.decide(i, 1, 2, 64, i % 3 == 0 ? noisy : quiet);
+    if (i % 3 != 0) {
+      EXPECT_EQ(da.drop, db.drop) << "draw shifted at index " << i;
+      EXPECT_EQ(da.duplicate, db.duplicate);
+      EXPECT_EQ(da.corrupt_seed, db.corrupt_seed);
+      EXPECT_EQ(da.delay, db.delay) << "delay draw shifted at index " << i;
+    }
+  }
+}
+
+TEST(FaultPolicy, CustomPolicyInstalls) {
+  // A policy that drops everything: deliveries stop, decisions are
+  // counted.
+  struct DropAll final : FaultPolicy {
+    FaultDecision decide(std::uint64_t, NodeId, NodeId, std::size_t,
+                         const LinkParams&) override {
+      FaultDecision d;
+      d.drop = true;
+      return d;
+    }
+  };
+  Rig r;
+  r.attach(2);
+  r.net.set_fault_policy(std::make_shared<DropAll>());
+  for (int i = 0; i < 10; ++i) r.net.send(1, 2, to_bytes("x"));
+  r.sched.run();
+  EXPECT_TRUE(r.inbox[2].empty());
+  EXPECT_EQ(r.net.decisions_made(), 10u);
+}
+
+TEST(FaultPolicy, DecisionIndexSkipsPrePolicyDrops) {
+  // MTU and partition drops happen before the fault stage; they must not
+  // consume decision indices (a shrinker mask names post-filter sends).
+  Rig r;
+  r.attach(2);
+  LinkParams p;
+  p.mtu = 4;
+  r.net.set_default_params(p);
+  r.net.send(1, 2, Bytes(100, 0xab));  // over MTU: no decision
+  r.net.send(1, 2, to_bytes("ok"));
+  r.sched.run();
+  EXPECT_EQ(r.net.decisions_made(), 1u);
+  EXPECT_EQ(r.net.stats().dropped_mtu, 1u);
+}
+
 }  // namespace
 }  // namespace horus::sim

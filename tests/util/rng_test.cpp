@@ -65,5 +65,45 @@ TEST(SplitMix, ExpandsDistinctState) {
   EXPECT_NE(a, 0u);
 }
 
+TEST(StreamSeed, SameTagSameStream) {
+  EXPECT_EQ(stream_seed(42, fnv1a64("loss")), stream_seed(42, fnv1a64("loss")));
+}
+
+TEST(StreamSeed, DifferentTagsGiveIndependentStreams) {
+  // The point of splitting: draws under one tag never depend on draws
+  // under another, and the streams are pairwise distinct.
+  std::uint64_t base = 1234;
+  const char* tags[] = {"loss", "duplicate", "corrupt", "delay",
+                        "plan-crash", "plan-partition"};
+  for (const char* a : tags) {
+    for (const char* b : tags) {
+      if (a == b) continue;
+      EXPECT_NE(stream_seed(base, fnv1a64(a)), stream_seed(base, fnv1a64(b)))
+          << a << " vs " << b;
+    }
+  }
+}
+
+TEST(StreamSeed, DifferentBasesGiveDifferentStreams) {
+  std::uint64_t tag = fnv1a64("loss");
+  EXPECT_NE(stream_seed(1, tag), stream_seed(2, tag));
+  // Tag 0 and base 0 are not degenerate.
+  EXPECT_NE(stream_seed(0, 0), 0u);
+}
+
+TEST(Fnv, KnownVectorAndStepConsistency) {
+  // FNV-1a of the empty string is the offset basis, by definition.
+  EXPECT_EQ(fnv1a64(""), kFnvBasis);
+  EXPECT_NE(fnv1a64("a"), fnv1a64("b"));
+  // fnv1a64_step folds 8 bytes little-endian: folding 'a' (0x61 + seven
+  // zero bytes) over the basis must differ from the string hash (which has
+  // no zero padding) but be deterministic.
+  EXPECT_EQ(fnv1a64_step(kFnvBasis, 0x61), fnv1a64_step(kFnvBasis, 0x61));
+  EXPECT_NE(fnv1a64_step(kFnvBasis, 0x61), fnv1a64_step(kFnvBasis, 0x62));
+  // Order sensitivity: (a then b) != (b then a).
+  EXPECT_NE(fnv1a64_step(fnv1a64_step(kFnvBasis, 1), 2),
+            fnv1a64_step(fnv1a64_step(kFnvBasis, 2), 1));
+}
+
 }  // namespace
 }  // namespace horus
