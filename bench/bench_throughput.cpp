@@ -38,6 +38,8 @@ void BM_Throughput(benchmark::State& state, const char* spec) {
   }
   state.counters["msgs/s"] = benchmark::Counter(
       static_cast<double>(sent), benchmark::Counter::kIsRate);
+  state.counters["bytes/s"] = benchmark::Counter(
+      static_cast<double>(sent * payload.size()), benchmark::Counter::kIsRate);
 }
 
 void BM_FifoThroughput(benchmark::State& state) {
@@ -68,6 +70,8 @@ void BM_RawCeiling(benchmark::State& state) {
   }
   state.counters["msgs/s"] = benchmark::Counter(
       static_cast<double>(sent), benchmark::Counter::kIsRate);
+  state.counters["bytes/s"] = benchmark::Counter(
+      static_cast<double>(sent * payload.size()), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_RawCeiling);
 

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Compare a fresh Google-Benchmark JSON run against a committed baseline.
+
+Usage:
+    scripts/bench_compare.py FRESH.json BASELINE.json [--threshold=0.25]
+                             [--report-only]
+
+For every benchmark name present in both files the script compares:
+
+  * ``real_time``      -- lower is better; a regression is fresh time more
+                          than ``threshold`` above baseline.
+  * rate counters      -- any counter whose name ends in ``/s`` (msgs/s,
+                          bytes/s, items/s); higher is better, a regression
+                          is fresh rate more than ``threshold`` below
+                          baseline.
+
+Benchmarks present in only one file are reported but never fail the run
+(benches get added and removed; the guard is for drift in shared names).
+Exit status is 1 when any regression exceeds the threshold, unless
+``--report-only`` is given (CI's bench-smoke job runs report-only: absolute
+times on shared runners are too noisy to gate merges, but the report makes
+drift visible in the job log).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    """name -> {real_time, time_unit, counters{...}} from a benchmark JSON."""
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            # Keep only the mean aggregate; ignore stddev/cv/median rows.
+            if b.get("aggregate_name") != "mean":
+                continue
+        name = b.get("run_name", b.get("name"))
+        counters = {
+            k: v
+            for k, v in b.items()
+            if isinstance(v, (int, float)) and k.endswith("/s")
+        }
+        out[name] = {
+            "real_time": b.get("real_time"),
+            "time_unit": b.get("time_unit", "ns"),
+            "counters": counters,
+        }
+    return out
+
+
+def pct(new, old):
+    if old == 0:
+        return float("inf")
+    return (new - old) / old * 100.0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("fresh", help="freshly produced benchmark JSON")
+    ap.add_argument("baseline", help="committed BENCH_*.json baseline")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed relative regression (default 0.25 = 25%%)",
+    )
+    ap.add_argument(
+        "--report-only",
+        action="store_true",
+        help="print the comparison but always exit 0",
+    )
+    args = ap.parse_args()
+
+    fresh = load_benchmarks(args.fresh)
+    base = load_benchmarks(args.baseline)
+
+    shared = sorted(set(fresh) & set(base))
+    only_fresh = sorted(set(fresh) - set(base))
+    only_base = sorted(set(base) - set(fresh))
+
+    regressions = []
+    print(f"bench_compare: {args.fresh} vs {args.baseline} "
+          f"(threshold {args.threshold:.0%})")
+    for name in shared:
+        f, b = fresh[name], base[name]
+        lines = []
+        ft, bt = f["real_time"], b["real_time"]
+        if ft is not None and bt is not None and bt > 0:
+            delta = pct(ft, bt)
+            flag = ""
+            if ft > bt * (1.0 + args.threshold):
+                flag = "  <-- REGRESSION"
+                regressions.append(f"{name}: real_time {delta:+.1f}%")
+            lines.append(
+                f"    real_time {bt:.0f} -> {ft:.0f} {f['time_unit']}"
+                f" ({delta:+.1f}%){flag}")
+        for cname, bval in sorted(b["counters"].items()):
+            fval = f["counters"].get(cname)
+            if fval is None or bval <= 0:
+                continue
+            delta = pct(fval, bval)
+            flag = ""
+            if fval < bval * (1.0 - args.threshold):
+                flag = "  <-- REGRESSION"
+                regressions.append(f"{name}: {cname} {delta:+.1f}%")
+            lines.append(
+                f"    {cname} {bval:.3g} -> {fval:.3g} ({delta:+.1f}%){flag}")
+        print(f"  {name}")
+        for line in lines:
+            print(line)
+
+    for name in only_fresh:
+        print(f"  {name}: new benchmark (no baseline)")
+    for name in only_base:
+        print(f"  {name}: missing from fresh run")
+
+    if not shared:
+        print("bench_compare: no shared benchmark names; nothing compared",
+              file=sys.stderr)
+        return 0 if args.report_only else 2
+
+    if regressions:
+        print(f"bench_compare: {len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0%}:")
+        for r in regressions:
+            print(f"  {r}")
+        return 0 if args.report_only else 1
+
+    print(f"bench_compare: OK ({len(shared)} benchmark(s) within "
+          f"{args.threshold:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,15 +27,35 @@ stacks=(
   "MBRSHIP:FRAG:NAK:COM"
 )
 
+# The corpus mixes plain numeric seed lines with `stack=SPEC seeds=N`
+# entries; horus-check's --seed-file only accepts numbers, so split them.
+seeds_only="$(mktemp)"
+trap 'rm -f "$seeds_only"' EXIT
+grep -E '^[0-9]+$' "$corpus" > "$seeds_only" || true
+
 failed=0
 for stack in "${stacks[@]}"; do
   repro="$out_dir/repro-$(echo "$stack" | tr ':' '_').json"
   echo "== $stack =="
-  if ! "$check" --stack="$stack" --seed-file="$corpus" --quiet \
+  if ! "$check" --stack="$stack" --seed-file="$seeds_only" --quiet \
       --repro="$repro"; then
     echo "FAILED: $stack (repro at $repro)" >&2
     failed=1
   fi
 done
+
+# Extra corpus stacks, each swept over its own sequential seed range.
+while IFS= read -r line; do
+  [[ "$line" =~ ^stack=([A-Z0-9_:]+)[[:space:]]+seeds=([0-9]+)$ ]] || continue
+  stack="${BASH_REMATCH[1]}"
+  nseeds="${BASH_REMATCH[2]}"
+  repro="$out_dir/repro-$(echo "$stack" | tr ':' '_').json"
+  echo "== $stack (seeds 1..$nseeds) =="
+  if ! "$check" --stack="$stack" --seeds="$nseeds" --quiet \
+      --repro="$repro"; then
+    echo "FAILED: $stack (repro at $repro)" >&2
+    failed=1
+  fi
+done < "$corpus"
 
 exit "$failed"

@@ -159,6 +159,46 @@ void check_dead_guarantees(const std::vector<LintLayer>& stack,
   }
 }
 
+void check_pack_placement(const std::vector<LintLayer>& stack,
+                          LintReport& rep) {
+  // PACK coalesces casts into one message carrying one set of lower
+  // headers: one ordering stamp, one sequence number. That is only sound
+  // when the ordering layers run BELOW it (they stamp the train once) and a
+  // fragmentation layer runs below it (trains near the byte budget must
+  // survive the MTU). PACK below an ordering layer would pack
+  // already-stamped casts and deliver N messages against one stamp.
+  const props::PropertySet ordering = props::make_set(
+      {props::Property::kFifoMulticast, props::Property::kCausal,
+       props::Property::kTotalOrder, props::Property::kSafe});
+  for (std::size_t i = 0; i < stack.size(); ++i) {
+    if (stack[i].name != "PACK") continue;
+    for (std::size_t j = 0; j < i; ++j) {
+      if ((stack[j].spec.provides & ordering) == 0) continue;
+      rep.diagnostics.push_back(
+          {Severity::kError, "pack-below-ordering", i, stack[i].name,
+           "PACK is below ordering layer " + stack[j].name +
+               "; packing already-ordered casts delivers a train of "
+               "messages against a single ordering stamp",
+           "move PACK above " + stack[j].name + " (top of the stack)"});
+    }
+    bool frag_below = false;
+    for (std::size_t j = i + 1; j < stack.size(); ++j) {
+      if ((stack[j].spec.provides &
+           props::mask(props::Property::kLargeMessages)) != 0) {
+        frag_below = true;
+        break;
+      }
+    }
+    if (!frag_below) {
+      rep.diagnostics.push_back(
+          {Severity::kError, "pack-needs-frag", i, stack[i].name,
+           "PACK has no fragmentation layer below it; a train near the "
+           "byte budget plus lower headers can exceed the MTU",
+           "insert FRAG (or NFRAG) below PACK"});
+    }
+  }
+}
+
 }  // namespace
 
 std::size_t LintReport::errors() const {
@@ -210,6 +250,7 @@ LintReport lint_stack(const std::vector<LintLayer>& stack,
   }
 
   check_transport_placement(stack, rep);
+  check_pack_placement(stack, rep);
   check_well_formed(stack, library, network, rep);
   check_redundant(stack, network, rep);
   check_dead_guarantees(stack, network, rep);

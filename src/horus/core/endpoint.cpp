@@ -77,6 +77,40 @@ void Endpoint::deliver_datagram(Address src,
   g->stack().deliver_datagram(src, GroupId{gid}, std::move(datagram));
 }
 
+void Endpoint::deliver_datagrams(
+    Address src, std::vector<std::shared_ptr<const Bytes>> datagrams) {
+  if (crashed_) return;
+  // Batch consecutive datagrams for the same group so each run costs one
+  // executor enqueue; order across the burst is preserved (runs are posted
+  // in arrival order, and tasks for one group run FIFO).
+  Group* run_group = nullptr;
+  GroupId run_gid{};
+  std::vector<std::shared_ptr<const Bytes>> run;
+  auto flush_run = [&] {
+    if (run_group != nullptr && !run.empty()) {
+      run_group->stack().deliver_datagram_batch(src, run_gid, std::move(run));
+    }
+    run.clear();
+    run_group = nullptr;
+  };
+  for (auto& d : datagrams) {
+    if (d == nullptr || d->size() < Stack::kGidPrefix) continue;
+    std::uint64_t gid = 0;
+    for (std::size_t i = 0; i < Stack::kGidPrefix; ++i) {
+      gid |= static_cast<std::uint64_t>((*d)[i]) << (8 * i);
+    }
+    if (run_group == nullptr || run_gid.id != gid) {
+      flush_run();
+      Group* g = find_group(GroupId{gid});
+      if (g == nullptr || g->destroyed()) continue;  // not a member: drop
+      run_group = g;
+      run_gid = GroupId{gid};
+    }
+    run.push_back(std::move(d));
+  }
+  flush_run();
+}
+
 void Endpoint::downcall(GroupId gid, DownEvent ev) {
   Group* g = find_group(gid);
   if (g == nullptr || g->destroyed() || crashed_) return;
@@ -92,6 +126,21 @@ void Endpoint::cast(GroupId gid, Message msg) {
   ev.type = DownType::kCast;
   ev.msg = std::move(msg);
   downcall(gid, std::move(ev));
+}
+
+void Endpoint::cast_batch(GroupId gid, std::vector<Message> msgs) {
+  if (msgs.empty()) return;
+  Group* g = find_group(gid);
+  if (g == nullptr || g->destroyed() || crashed_) return;
+  std::vector<DownEvent> evs;
+  evs.reserve(msgs.size());
+  for (Message& m : msgs) {
+    DownEvent ev;
+    ev.type = DownType::kCast;
+    ev.msg = std::move(m);
+    evs.push_back(std::move(ev));
+  }
+  g->stack().down_batch(*g, std::move(evs));
 }
 
 void Endpoint::send(GroupId gid, std::vector<Address> dests, Message msg) {

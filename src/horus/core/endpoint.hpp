@@ -65,6 +65,11 @@ class Endpoint {
   /// Multicast to the group's current view.
   void cast(GroupId gid, Message msg);
 
+  /// Multicast a batch of messages in one executor task and one stack
+  /// traversal (the accelerator's batched send path). Equivalent to
+  /// calling cast() once per message, in order.
+  void cast_batch(GroupId gid, std::vector<Message> msgs);
+
   /// Send to a subset of the view.
   void send(GroupId gid, std::vector<Address> dests, Message msg);
 
@@ -116,6 +121,12 @@ class Endpoint {
   /// Raw datagram entry: strips the group-id framing prefix and routes to
   /// the stack that owns the group.
   void deliver_datagram(Address src, std::shared_ptr<const Bytes> datagram);
+
+  /// Batched datagram entry: demultiplexes the burst and hands each
+  /// same-group run to its stack with one executor enqueue (drivers that
+  /// read several datagrams per socket wakeup fan in here).
+  void deliver_datagrams(Address src,
+                         std::vector<std::shared_ptr<const Bytes>> datagrams);
 
   [[nodiscard]] Group* find_group(GroupId gid);
   Group& group(GroupId gid);

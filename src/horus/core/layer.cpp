@@ -17,8 +17,16 @@ void Layer::dump(Group&, std::string& out) const {
   out += info().name + ": (no state)\n";
 }
 
+void Layer::down_batch(Group& g, std::span<DownEvent> evs) {
+  for (DownEvent& ev : evs) down(g, ev);
+}
+
 void Layer::pass_down(Group& g, DownEvent& ev) {
   stack_->forward_down(index_, g, ev);
+}
+
+void Layer::pass_down_batch(Group& g, std::span<DownEvent> evs) {
+  stack_->forward_down_batch(index_, g, evs);
 }
 
 void Layer::pass_up(Group& g, UpEvent& ev) {

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "horus/core/endpoint.hpp"
+#include "horus/util/hotpath_stats.hpp"
 
 namespace horus {
 namespace {
@@ -136,6 +137,37 @@ void Stack::down(Group& g, DownEvent ev) {
   });
 }
 
+void Stack::down_batch(Group& g, std::vector<DownEvent> evs) {
+  if (evs.empty()) return;
+  if (evs.size() == 1) {
+    down(g, std::move(evs[0]));
+    return;
+  }
+  stats_.downcalls.fetch_add(evs.size(), std::memory_order_relaxed);
+  msg_path_stats().batch_descents.fetch_add(1, std::memory_order_relaxed);
+  msg_path_stats().batched_events.fetch_add(evs.size(),
+                                            std::memory_order_relaxed);
+  GroupId gid = g.gid();
+  exec_.post(gid.id, [this, gid, evs = std::move(evs)]() mutable {
+    if (owner_->crashed()) return;
+    Group* grp = owner_->find_group(gid);
+    if (grp == nullptr || grp->destroyed()) return;
+    forward_down_batch(kAppSink, *grp, evs);
+  });
+}
+
+void Stack::down_batch(Group& g, std::span<Message> msgs) {
+  std::vector<DownEvent> evs;
+  evs.reserve(msgs.size());
+  for (Message& m : msgs) {
+    DownEvent ev;
+    ev.type = DownType::kCast;
+    ev.msg = std::move(m);
+    evs.push_back(std::move(ev));
+  }
+  down_batch(g, std::move(evs));
+}
+
 void Stack::deliver_datagram(Address src, GroupId gid,
                              std::shared_ptr<const Bytes> datagram) {
   stats_.datagrams_received.fetch_add(1, std::memory_order_relaxed);
@@ -145,6 +177,25 @@ void Stack::deliver_datagram(Address src, GroupId gid,
     if (g == nullptr || g->destroyed()) return;
     layers_.back()->raw_receive(*g, src, datagram, kGidPrefix);
   });
+}
+
+void Stack::deliver_datagram_batch(
+    Address src, GroupId gid,
+    std::vector<std::shared_ptr<const Bytes>> datagrams) {
+  if (datagrams.empty()) return;
+  stats_.datagrams_received.fetch_add(datagrams.size(),
+                                      std::memory_order_relaxed);
+  std::vector<runtime::Task> tasks;
+  tasks.reserve(datagrams.size());
+  for (auto& d : datagrams) {
+    tasks.push_back([this, src, gid, datagram = std::move(d)]() {
+      if (owner_->crashed()) return;
+      Group* g = owner_->find_group(gid);
+      if (g == nullptr || g->destroyed()) return;
+      layers_.back()->raw_receive(*g, src, datagram, kGidPrefix);
+    });
+  }
+  exec_.post_batch(gid.id, std::move(tasks));
 }
 
 void Stack::forward_down(std::size_t from_index, Group& g, DownEvent& ev) {
@@ -168,6 +219,39 @@ void Stack::forward_down(std::size_t from_index, Group& g, DownEvent& ev) {
   }
   if (next >= layers_.size()) return;  // absorbed below the bottom
   layers_[next]->down(g, ev);
+}
+
+void Stack::forward_down_batch(std::size_t from_index, Group& g,
+                               std::span<DownEvent> evs) {
+  if (evs.empty()) return;
+  if (evs.size() == 1) {
+    forward_down(from_index, g, evs[0]);
+    return;
+  }
+  std::size_t next;
+  if (from_index == kAppSink) {
+    next = 0;
+    if (cfg_.skip_noop_layers && !layers_.empty() &&
+        layers_[0]->info().skip_data_down) {
+      next = next_down_[0];
+    }
+  } else if (cfg_.skip_noop_layers) {
+    next = next_down_[from_index];
+  } else {
+    next = from_index + 1;
+  }
+  if (next >= layers_.size()) return;  // absorbed below the bottom
+  // Contract-checked stacks and batch-opaque layers take the per-event
+  // path: HCPI frames stay one-event-deep and semantics are unchanged --
+  // the batch is purely a dispatch optimization.
+  if (monitor_ != nullptr || !layers_[next]->info().batch_safe) {
+    for (DownEvent& ev : evs) forward_down(from_index, g, ev);
+    return;
+  }
+  for (DownEvent& ev : evs) {
+    if (is_data(ev.type)) maybe_linearize(ev.msg);
+  }
+  layers_[next]->down_batch(g, evs);
 }
 
 void Stack::forward_up(std::size_t from_index, Group& g, UpEvent& ev) {

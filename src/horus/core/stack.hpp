@@ -43,6 +43,19 @@ enum class PartitionPolicy {
   kExtendedVs,        ///< Transis/Totem-style: every partition continues
 };
 
+/// PACK layer tuning (the protocol accelerator's message packing).
+struct PackingConfig {
+  /// Train payload budget in bytes. 0 derives it from the MTU so a full
+  /// train plus the lower layers' headers always fits in one datagram
+  /// (FRAG below never slices mid-train).
+  std::size_t max_bytes = 0;
+  /// Maximum casts coalesced into one train.
+  std::size_t max_count = 16;
+  /// Virtual-time window a pending train waits for more casts before the
+  /// flush timer sends it anyway. <= 1 disables packing (pass-through).
+  sim::Duration flush_after = 2 * sim::kMillisecond;
+};
+
 /// Tunables shared by all layers of a stack. Times are in microseconds of
 /// simulated (or driver) time.
 struct StackConfig {
@@ -74,6 +87,9 @@ struct StackConfig {
   // STABLE / PINWHEEL tuning.
   sim::Duration stability_gossip_interval = 50 * sim::kMillisecond;
   sim::Duration pinwheel_interval = 30 * sim::kMillisecond;
+
+  // PACK (message packing) tuning.
+  PackingConfig packing;
 
   // Security layers.
   Key key{0x4865726f, 0x73323031};
@@ -150,12 +166,27 @@ class Stack {
   /// Application downcall; enters the top of the stack via the executor.
   void down(Group& g, DownEvent ev);
 
+  /// Batched downcall: all events enter the top of the stack in one
+  /// executor task and one traversal. Layers that declare batch_safe are
+  /// visited once per train; below the first batch-opaque layer the train
+  /// degrades to per-event forwarding (still inside the same task).
+  void down_batch(Group& g, std::vector<DownEvent> evs);
+  /// Convenience: multicast a batch of messages (each becomes a kCast).
+  void down_batch(Group& g, std::span<Message> msgs);
+
   /// Raw datagram from the transport, already demultiplexed to a group by
   /// the endpoint (the wire carries a group-id prefix of kGidPrefix
   /// bytes); enters the bottom via the executor.
   static constexpr std::size_t kGidPrefix = 8;
   void deliver_datagram(Address src, GroupId gid,
                         std::shared_ptr<const Bytes> datagram);
+
+  /// Batched datagram delivery: one executor enqueue for the whole burst
+  /// (Executor::post_batch), so N datagrams for one group cost one queue
+  /// round-trip instead of N. Semantics per datagram match
+  /// deliver_datagram exactly.
+  void deliver_datagram_batch(Address src, GroupId gid,
+                              std::vector<std::shared_ptr<const Bytes>> datagrams);
 
   // -- sinks (called by the edge layers) -------------------------------------
 
@@ -236,6 +267,12 @@ class Stack {
   // Internal: used by Layer::pass_down/pass_up. Index is the calling layer.
   void forward_down(std::size_t from_index, Group& g, DownEvent& ev);
   void forward_up(std::size_t from_index, Group& g, UpEvent& ev);
+  /// Batch variant of forward_down (Layer::pass_down_batch). Keeps the
+  /// train together while the next layer is batch_safe; otherwise -- and
+  /// whenever a contract monitor is installed, to keep HCPI frames
+  /// balanced -- forwards per event.
+  void forward_down_batch(std::size_t from_index, Group& g,
+                          std::span<DownEvent> evs);
 
  private:
   void compile_layout();

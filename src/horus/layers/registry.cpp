@@ -15,6 +15,7 @@
 #include "horus/layers/nak.hpp"
 #include "horus/layers/nfrag.hpp"
 #include "horus/layers/nnak.hpp"
+#include "horus/layers/pack.hpp"
 #include "horus/layers/pinwheel.hpp"
 #include "horus/layers/safe.hpp"
 #include "horus/layers/stable.hpp"
@@ -104,6 +105,7 @@ const std::vector<std::pair<std::string, Factory>>& registry() {
       {"NAK", [] { return std::make_unique<Nak>(); }},
       {"NNAK", [] { return std::make_unique<Nnak>(); }},
       {"FRAG", [] { return std::make_unique<Frag>(); }},
+      {"PACK", [] { return std::make_unique<Pack>(); }},
       {"NFRAG", [] { return std::make_unique<Nfrag>(); }},
       {"MBRSHIP", [] { return std::make_unique<Mbrship>(); }},
       {"BMS", [] { return std::make_unique<Bms>(); }},

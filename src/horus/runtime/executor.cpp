@@ -185,6 +185,17 @@ void ShardedExecutor::post(GroupKey key, Task t) {
   s.cv.notify_one();
 }
 
+void ShardedExecutor::post_batch(GroupKey key, std::vector<Task> tasks) {
+  if (tasks.empty()) return;
+  Shard& s = *shards_[shard_of(key)];
+  inflight_.fetch_add(tasks.size(), std::memory_order_relaxed);
+  {
+    std::lock_guard lock(s.mu);
+    for (Task& t : tasks) s.q.push_back(std::move(t));
+  }
+  s.cv.notify_one();
+}
+
 void ShardedExecutor::drain() {
   std::unique_lock lock(idle_mu_);
   idle_cv_.wait(lock, [this] {

@@ -70,6 +70,22 @@ class Executor {
     (void)key;
     post(std::move(t));
   }
+  /// Submit several tasks bound to one group as a unit: they run in order,
+  /// back to back, costing one queue round-trip instead of one per task
+  /// (the delivery-side half of the packing accelerator). Default:
+  /// compose into a single task; models with real queues override to
+  /// enqueue the tasks individually under one lock acquisition.
+  virtual void post_batch(GroupKey key, std::vector<Task> tasks) {
+    if (tasks.empty()) return;
+    if (tasks.size() == 1) {
+      post(key, std::move(tasks[0]));
+      return;
+    }
+    post(key, [tasks = std::move(tasks)]() {
+      for (const Task& t : tasks) t();
+    });
+  }
+
   /// Run until no queued work remains (no-op for inline/threaded models
   /// that do not queue).
   virtual void drain() {}
@@ -192,6 +208,9 @@ class ShardedExecutor final : public Executor {
 
   void post(Task t) override { post(kNoGroup, std::move(t)); }
   void post(GroupKey key, Task t) override;
+  /// One lock acquisition and one wakeup for the whole burst; the tasks
+  /// stay individually queued, so per-task exception isolation holds.
+  void post_batch(GroupKey key, std::vector<Task> tasks) override;
   /// Block until every posted task (including tasks posted by tasks) has
   /// finished. Callable from any thread that is not a shard worker.
   void drain() override;

@@ -20,10 +20,26 @@ struct MsgPathStats {
   std::atomic<std::uint64_t> writer_spills{0};     ///< external Writer overflow
   std::atomic<std::uint64_t> bytes_copied{0};      ///< hot-path memcpy volume
 
+  // Message packing / batched traversal (the protocol accelerator).
+  std::atomic<std::uint64_t> packs_built{0};        ///< packed trains flushed
+  std::atomic<std::uint64_t> casts_packed{0};       ///< casts coalesced into trains
+  std::atomic<std::uint64_t> flushes_by_size{0};    ///< train hit the byte budget
+  std::atomic<std::uint64_t> flushes_by_count{0};   ///< train hit the count cap
+  std::atomic<std::uint64_t> flushes_by_timer{0};   ///< flush timer fired
+  std::atomic<std::uint64_t> packed_bytes_saved{0}; ///< per-datagram overhead not sent
+  std::atomic<std::uint64_t> trains_unpacked{0};    ///< packed datagrams fanned out
+  std::atomic<std::uint64_t> casts_unpacked{0};     ///< casts delivered out of trains
+  std::atomic<std::uint64_t> corrupt_trains{0};     ///< undecodable trains dropped whole
+  std::atomic<std::uint64_t> batch_descents{0};     ///< down_batch stack traversals
+  std::atomic<std::uint64_t> batched_events{0};     ///< events carried by those batches
+
   void reset() {
     pool_hits = pool_misses = oversize = headroom_growths = 0;
     unshare_copies = wire_fastpath = wire_gather = writer_spills = 0;
     bytes_copied = 0;
+    packs_built = casts_packed = flushes_by_size = flushes_by_count = 0;
+    flushes_by_timer = packed_bytes_saved = trains_unpacked = 0;
+    casts_unpacked = corrupt_trains = batch_descents = batched_events = 0;
   }
 };
 

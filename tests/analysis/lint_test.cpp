@@ -58,6 +58,12 @@ INSTANTIATE_TEST_SUITE_P(
         // Transport misplacement, both directions.
         BadSpecCase{"COM:NAK", "transport-placement", "COM", 0},
         BadSpecCase{"NAK:COM:COM", "transport-placement", "COM", 1},
+        // PACK placement: below an ordering layer a train of casts would
+        // ride one ordering stamp; without FRAG below, a full train plus
+        // lower headers can exceed the MTU.
+        BadSpecCase{"TOTAL:PACK:MBRSHIP:FRAG:NAK:COM", "pack-below-ordering",
+                    "PACK", 1},
+        BadSpecCase{"PACK:NAK:COM", "pack-needs-frag", "PACK", 0},
         // Syntactic problems.
         BadSpecCase{"TOTAL::COM", "empty-name", "", 1},
         BadSpecCase{"", "empty-spec", "",
@@ -106,6 +112,26 @@ TEST(Lint, CanonicalPaperStackIsClean) {
   LintReport rep = lint_spec("TOTAL:MBRSHIP:FRAG:NAK:COM");
   EXPECT_TRUE(rep.ok()) << rep.to_string();
   EXPECT_EQ(rep.diagnostics.size(), 0u) << rep.to_string();
+}
+
+TEST(Lint, PackAtTopOfOrderedStackIsClean) {
+  LintReport rep = lint_spec("PACK:TOTAL:MBRSHIP:FRAG:NAK:COM");
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+  EXPECT_EQ(rep.diagnostics.size(), 0u) << rep.to_string();
+}
+
+TEST(Lint, PackPlacementSuggestionsAreActionable) {
+  LintReport ordered = lint_spec("TOTAL:PACK:MBRSHIP:FRAG:NAK:COM");
+  const LintDiagnostic* below = find_rule(ordered, "pack-below-ordering");
+  ASSERT_NE(below, nullptr);
+  EXPECT_NE(below->suggestion.find("move PACK above TOTAL"),
+            std::string::npos)
+      << below->suggestion;
+  LintReport bare = lint_spec("PACK:NAK:COM");
+  const LintDiagnostic* frag = find_rule(bare, "pack-needs-frag");
+  ASSERT_NE(frag, nullptr);
+  EXPECT_NE(frag->suggestion.find("FRAG"), std::string::npos)
+      << frag->suggestion;
 }
 
 TEST(Lint, EveryRegisteredLayerNameResolves) {
