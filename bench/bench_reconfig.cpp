@@ -1,0 +1,161 @@
+// Live protocol switching (docs/reconfig.md), measured.
+//
+// Forms a group on TOTAL:MBRSHIP:FRAG:NAK:COM, drives a steady cast
+// workload, then triggers Endpoint::reconfigure() with messages still in
+// flight, and reports:
+//   * switch_ms(sim): reconfigure() call to the last member's first upcall
+//     from the new epoch (flush round + state transfer + install), in
+//     simulated time;
+//   * dgrams: every datagram the group exchanged during the switch;
+//   * steady_ms(sim) / post_ms(sim): one-way cast latency before and after
+//     the switch, so the cost of the new stack is visible next to the cost
+//     of getting there.
+// The run aborts if any in-flight cast is lost or duplicated across the
+// epoch boundary -- the same obligation horus-check's cross-epoch oracle
+// enforces under loss.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace horus;
+using namespace horus::bench;
+
+namespace {
+
+struct SwitchResult {
+  sim::Duration switch_us = 0;
+  sim::Duration steady_us = 0;
+  sim::Duration post_us = 0;
+  std::uint64_t datagrams = 0;
+  bool inflight_ok = false;
+};
+
+SwitchResult run_switch(const std::string& old_spec,
+                        const std::string& new_spec, std::size_t n,
+                        std::uint64_t seed) {
+  HorusSystem::Options opts = Rig::fast_net();
+  opts.seed = seed;
+  HorusSystem sys(opts);
+  std::vector<Endpoint*> eps;
+  std::vector<std::uint64_t> delivered(n, 0);
+  std::vector<std::uint32_t> max_epoch(n, 0);
+  sim::Time last_delivery = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    eps.push_back(&sys.create_endpoint(old_spec));
+    std::size_t idx = i;
+    eps.back()->on_upcall([&, idx](Group& g, UpEvent& ev) {
+      if (max_epoch[idx] < g.epoch_number()) max_epoch[idx] = g.epoch_number();
+      if (ev.type == UpType::kCast) {
+        ++delivered[idx];
+        last_delivery = sys.now();
+      }
+    });
+  }
+  eps[0]->join(kGroup);
+  sys.run_for(50 * sim::kMillisecond);
+  for (std::size_t i = 1; i < n; ++i) {
+    eps[i]->join(kGroup, eps[0]->address());
+    sys.run_for(200 * sim::kMillisecond);
+  }
+  sys.run_for(sim::kSecond);
+
+  auto cast_and_settle = [&](Endpoint* from) {
+    std::uint64_t want = delivered[n - 1] + 1;
+    sim::Time start = sys.now();
+    from->cast(kGroup, Message::from_string("steady"));
+    for (int guard = 0; guard < 10'000 && delivered[n - 1] < want; ++guard) {
+      sys.run_for(100);
+    }
+    return last_delivery > start ? last_delivery - start : 0;
+  };
+
+  SwitchResult r;
+  r.steady_us = cast_and_settle(eps[0]);
+
+  // One cast per member, then reconfigure with all of them still in
+  // flight: the flush round must hand every one of them to the new epoch.
+  std::uint64_t base = delivered[0];
+  for (std::size_t i = 0; i < n; ++i) {
+    eps[i]->cast(kGroup, Message::from_string("inflight"));
+  }
+  sys.run_for(1 * sim::kMillisecond);
+  std::uint64_t dgrams_before = sys.net().stats().sent;
+  sim::Time t0 = sys.now();
+  eps[0]->reconfigure(kGroup, new_spec);
+  sim::Time switched_at = 0;
+  for (int guard = 0; guard < 20'000; ++guard) {
+    sys.run_for(100);
+    bool all = true;
+    for (std::size_t i = 0; i < n; ++i) all &= max_epoch[i] >= 1;
+    if (all) {
+      switched_at = sys.now();
+      break;
+    }
+  }
+  r.switch_us = switched_at > t0 ? switched_at - t0 : 0;
+  r.datagrams = sys.net().stats().sent - dgrams_before;
+  sys.run_for(sim::kSecond);  // drain the in-flight casts
+
+  r.inflight_ok = switched_at != 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Exactly the n in-flight casts arrived: none lost, none duplicated.
+    r.inflight_ok &= delivered[i] - base == n;
+  }
+  r.post_us = cast_and_settle(eps[0]);
+  return r;
+}
+
+void run_bench(benchmark::State& state, const std::string& old_spec,
+               const std::string& new_spec) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  SwitchResult last;
+  for (auto _ : state) {
+    last = run_switch(old_spec, new_spec, n, seed++);
+    if (!last.inflight_ok) {
+      state.SkipWithError("in-flight cast lost or duplicated across switch!");
+      return;
+    }
+  }
+  state.counters["switch_ms(sim)"] =
+      benchmark::Counter(static_cast<double>(last.switch_us) / 1000.0);
+  state.counters["steady_ms(sim)"] =
+      benchmark::Counter(static_cast<double>(last.steady_us) / 1000.0);
+  state.counters["post_ms(sim)"] =
+      benchmark::Counter(static_cast<double>(last.post_us) / 1000.0);
+  state.counters["dgrams"] =
+      benchmark::Counter(static_cast<double>(last.datagrams));
+}
+
+void BM_SwitchNakToNnak(benchmark::State& state) {
+  run_bench(state, "TOTAL:MBRSHIP:FRAG:NAK:COM",
+            "TOTAL:MBRSHIP:FRAG:MCAST:NNAK:COM");
+}
+BENCHMARK(BM_SwitchNakToNnak)->Arg(3)->Arg(5)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SwitchAddCompress(benchmark::State& state) {
+  run_bench(state, "TOTAL:MBRSHIP:FRAG:NAK:COM",
+            "TOTAL:MBRSHIP:FRAG:NAK:COMPRESS:COM");
+}
+BENCHMARK(BM_SwitchAddCompress)->Arg(3)->Arg(5)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "=== Live protocol switching (docs/reconfig.md) ===\n"
+      "Arg = group size. switch_ms(sim) is the reconfigure()-to-new-epoch\n"
+      "latency (one flush round, state transfer, install); dgrams counts\n"
+      "every datagram exchanged during the switch. steady/post show the\n"
+      "cast latency on the old and new stacks. The run aborts if any cast\n"
+      "in flight at the switch is lost or duplicated.\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -44,16 +44,29 @@ for stack in "${stacks[@]}"; do
   fi
 done
 
-# Extra corpus stacks, each swept over its own sequential seed range.
+# Extra corpus stacks, each swept over its own sequential seed range. An
+# optional `switch@MS=SPEC` token live-reconfigures the group to SPEC
+# mid-workload (MS=0 derives a seed-dependent switch time); switch entries
+# run without crashes/partitions so the cross-epoch oracle also enforces
+# full delivery -- loss and duplication stay at the scenario defaults.
 while IFS= read -r line; do
-  [[ "$line" =~ ^stack=([A-Z0-9_:]+)[[:space:]]+seeds=([0-9]+)$ ]] || continue
+  [[ "$line" =~ ^stack=([A-Z0-9_:!]+)[[:space:]]+seeds=([0-9]+)([[:space:]]+switch@([0-9]+)=([A-Z0-9_:]+))?$ ]] || continue
   stack="${BASH_REMATCH[1]}"
   nseeds="${BASH_REMATCH[2]}"
-  repro="$out_dir/repro-$(echo "$stack" | tr ':' '_').json"
-  echo "== $stack (seeds 1..$nseeds) =="
+  switch_ms="${BASH_REMATCH[4]}"
+  switch_spec="${BASH_REMATCH[5]}"
+  extra=()
+  label="$stack"
+  if [[ -n "$switch_spec" ]]; then
+    extra+=("--switch-spec=$switch_spec" "--switch-at-ms=$switch_ms"
+            "--crashes=0" "--partitions=0")
+    label="$stack -> $switch_spec"
+  fi
+  repro="$out_dir/repro-$(echo "$label" | tr ': >' '_').json"
+  echo "== $label (seeds 1..$nseeds) =="
   if ! "$check" --stack="$stack" --seeds="$nseeds" --quiet \
-      --repro="$repro"; then
-    echo "FAILED: $stack (repro at $repro)" >&2
+      --repro="$repro" "${extra[@]}"; then
+    echo "FAILED: $label (repro at $repro)" >&2
     failed=1
   fi
 done < "$corpus"

@@ -281,6 +281,18 @@ void CheckedLayer::dump(Group& g, std::string& out) const {
   inner_->dump(g, out);
 }
 
+void CheckedLayer::export_state(Group& g, Writer& w) {
+  inner_->export_state(g, w);
+}
+
+void CheckedLayer::import_state(Group& g, Reader& r) {
+  inner_->import_state(g, r);
+}
+
+void CheckedLayer::on_reconfig_install(Group& g, const ReconfigInstall& inst) {
+  inner_->on_reconfig_install(g, inst);
+}
+
 std::vector<std::unique_ptr<Layer>> wrap_checked(
     std::vector<std::unique_ptr<Layer>> layers,
     const std::shared_ptr<ContractMonitor>& monitor) {

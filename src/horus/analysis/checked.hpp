@@ -126,6 +126,10 @@ class CheckedLayer final : public Layer {
   void raw_receive(Group& g, Address src, std::shared_ptr<const Bytes> datagram,
                    std::size_t offset) override;
   void dump(Group& g, std::string& out) const override;
+  void export_state(Group& g, Writer& w) override;
+  void import_state(Group& g, Reader& r) override;
+  void on_reconfig_install(Group& g, const ReconfigInstall& inst) override;
+  Layer* innermost() override { return inner_->innermost(); }
   void attach(Stack& s, std::size_t index) override;
 
   [[nodiscard]] Layer& inner() { return *inner_; }

@@ -20,6 +20,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -103,6 +104,30 @@ class HorusSystem {
                                          sched_, std::move(exec));
     Endpoint& ref = *ep;
     if (monitor) ref.stack().set_monitor(monitor.get());
+    // Live reconfiguration builds stacks at run time from spec strings; the
+    // factory mirrors this system's stack construction (including contract
+    // wrapping), and the hook attaches the monitor to the new stack.
+    ref.set_layer_factory([this](const std::string& spec) {
+      auto layers = opts_.stack_factory ? opts_.stack_factory(spec)
+                                        : layers::make_stack(spec);
+      if (opts_.check_contracts) {
+        auto mon = std::make_shared<analysis::ContractMonitor>();
+        layers = analysis::wrap_checked(std::move(layers), mon);
+        {
+          std::lock_guard lock(monitors_mu_);
+          monitors_.push_back(mon);
+        }
+        pending_monitor() = std::move(mon);
+      }
+      return layers;
+    });
+    ref.set_stack_hook([](Stack& s) {
+      auto& pm = pending_monitor();
+      if (pm) {
+        s.set_monitor(pm.get());
+        pm.reset();
+      }
+    });
     transport_.bind(ref);
     endpoints_.push_back(std::move(ep));
     return ref;
@@ -181,6 +206,15 @@ class HorusSystem {
   }
 
  private:
+  /// A reconfiguration factory hands its freshly created monitor to the
+  /// stack hook through here. Factory and hook run back to back on the
+  /// same thread (inside Endpoint::build_epoch_stack), so a thread-local
+  /// slot is race-free even with sharded executors.
+  static std::shared_ptr<analysis::ContractMonitor>& pending_monitor() {
+    thread_local std::shared_ptr<analysis::ContractMonitor> pm;
+    return pm;
+  }
+
   /// Lint (when validate_stacks), instantiate, and optionally wrap a stack
   /// spec; shared by create_endpoint and add_stack.
   std::pair<std::vector<std::unique_ptr<Layer>>,
@@ -200,6 +234,7 @@ class HorusSystem {
     if (opts_.check_contracts) {
       monitor = std::make_shared<analysis::ContractMonitor>();
       layers = analysis::wrap_checked(std::move(layers), monitor);
+      std::lock_guard lock(monitors_mu_);
       monitors_.push_back(monitor);
     }
     return {std::move(layers), std::move(monitor)};
@@ -210,6 +245,9 @@ class HorusSystem {
   sim::SimNetwork net_;
   SimTransport transport_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  /// Guards monitors_: reconfigurations on sharded executors create
+  /// monitors concurrently with each other (and with the app thread).
+  std::mutex monitors_mu_;
   std::vector<std::shared_ptr<analysis::ContractMonitor>> monitors_;
   std::uint64_t next_addr_ = 1;
 };

@@ -411,6 +411,88 @@ void check_view_agreement(const RunLog& log, Report& rep) {
   }
 }
 
+void check_cross_epoch(const RunLog& log, Report& rep) {
+  // Live reconfiguration must be invisible to the application except for
+  // the epoch bump (docs/reconfig.md):
+  //  1. a member's stack epoch never goes backwards;
+  //  2. per-sender deliveries stay strictly increasing in (round, index) --
+  //     nothing is duplicated or reordered across the epoch boundary;
+  //  3. live members settle on the same final epoch (the switch completed
+  //     everywhere or nowhere);
+  //  4. on clean runs (no crash/partition in the plan) nothing is lost:
+  //     loss/duplication/delay are recoverable faults, so every cast must
+  //     reach every live member even when the switch raced it.
+  for (const auto& m : log.members) {
+    std::uint32_t last_epoch = 0;
+    for (const Obs& o : m.obs) {
+      if (o.epoch < last_epoch) {
+        rep.add(Oracle::kCrossEpoch, m.index,
+                "stack epoch went backwards (" +
+                    std::to_string(last_epoch) + " -> " +
+                    std::to_string(o.epoch) + ")");
+        break;
+      }
+      last_epoch = o.epoch;
+    }
+    std::map<std::uint64_t, std::uint64_t> next_linear;  // sender -> floor
+    for (const Obs& o : m.obs) {
+      if (o.kind != Obs::Kind::kCast || !o.decoded) continue;
+      std::uint64_t linear =
+          std::uint64_t{o.payload.round} *
+              static_cast<std::uint64_t>(log.casts_per_round) +
+          o.payload.index;
+      std::uint64_t id =
+          pack_id(o.payload.sender, o.payload.round, o.payload.index);
+      auto it = next_linear.find(o.payload.sender);
+      if (it != next_linear.end() && linear < it->second) {
+        rep.add(Oracle::kCrossEpoch, m.index,
+                "delivered " + id_str(id) +
+                    " after a later cast of the same sender (duplicated or "
+                    "reordered across the switch)");
+        continue;  // keep the floor: report every out-of-order delivery
+      }
+      next_linear[o.payload.sender] = linear + 1;
+    }
+  }
+
+  const RunLog::Member* first_live = nullptr;
+  std::uint32_t first_final = 0;
+  for (const auto& m : log.members) {
+    if (m.crashed || m.obs.empty()) continue;
+    std::uint32_t final_epoch = 0;
+    for (const Obs& o : m.obs) final_epoch = std::max(final_epoch, o.epoch);
+    if (!first_live) {
+      first_live = &m;
+      first_final = final_epoch;
+    } else if (final_epoch != first_final) {
+      rep.add(Oracle::kCrossEpoch, m.index,
+              "final stack epoch " + std::to_string(final_epoch) +
+                  " differs from m" + std::to_string(first_live->index) +
+                  "'s " + std::to_string(first_final));
+    }
+  }
+
+  if (!log.clean) return;
+  for (const auto& m : log.members) {
+    if (m.crashed) continue;
+    std::map<std::uint64_t, std::set<std::uint64_t>> got;  // sender -> ids
+    for (const Obs& o : m.obs) {
+      if (o.kind != Obs::Kind::kCast || !o.decoded) continue;
+      got[o.payload.sender].insert(
+          pack_id(o.payload.sender, o.payload.round, o.payload.index));
+    }
+    for (std::size_t s = 0; s < log.sent.size(); ++s) {
+      std::uint64_t have = got[s].size();
+      if (have < log.sent[s]) {
+        rep.add(Oracle::kCrossEpoch, m.index,
+                "lost " + std::to_string(log.sent[s] - have) + " of " +
+                    std::to_string(log.sent[s]) + " casts from m" +
+                    std::to_string(s) + " on a clean run");
+      }
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<Violation> evaluate(OracleSet set, const RunLog& log) {
@@ -434,6 +516,9 @@ std::vector<Violation> evaluate(OracleSet set, const RunLog& log) {
   if (set & static_cast<OracleSet>(Oracle::kViewAgreement)) {
     check_view_agreement(log, rep);
   }
+  if (set & static_cast<OracleSet>(Oracle::kCrossEpoch)) {
+    check_cross_epoch(log, rep);
+  }
   return rep.take();
 }
 
@@ -446,6 +531,7 @@ std::uint64_t log_hash(const RunLog& log) {
     for (const Obs& o : m.obs) {
       h = fnv1a64_step(h, static_cast<std::uint64_t>(o.kind));
       h = fnv1a64_step(h, o.at);
+      h = fnv1a64_step(h, o.epoch);
       switch (o.kind) {
         case Obs::Kind::kView:
           h = fnv1a64_step(h, o.view_seq);

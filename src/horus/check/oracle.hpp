@@ -46,6 +46,7 @@ struct Obs {
   enum class Kind : std::uint8_t { kView, kCast, kStable };
   Kind kind = Kind::kCast;
   sim::Time at = 0;
+  std::uint32_t epoch = 0;  ///< the group's stack epoch at this upcall
 
   // kView: the installed view.
   std::uint64_t view_seq = 0;
@@ -77,6 +78,11 @@ struct RunLog {
   /// round * casts_per_round + i < sent[member].
   std::vector<std::uint64_t> sent;
   int casts_per_round = 1;
+  /// True when the plan injected no crashes and no partitions: the
+  /// cross-epoch oracle then also demands full delivery (loss, duplication
+  /// and reordering are recoverable faults; a reliable stack owes every
+  /// cast to every member once the run settles).
+  bool clean = false;
 };
 
 struct Violation {

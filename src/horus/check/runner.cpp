@@ -143,9 +143,10 @@ RunResult run_scenario(const Scenario& scn, std::uint64_t seed,
     }
     MemberCtx* c = ctx.get();
     HorusSystem* psys = &sys;
-    c->ep->on_upcall([c, psys](Group&, UpEvent& ev) {
+    c->ep->on_upcall([c, psys](Group& g, UpEvent& ev) {
       Obs obs;
       obs.at = psys->now();
+      obs.epoch = static_cast<std::uint32_t>(g.epoch_number());
       switch (ev.type) {
         case UpType::kView: {
           obs.kind = Obs::Kind::kView;
@@ -250,6 +251,21 @@ RunResult run_scenario(const Scenario& scn, std::uint64_t seed,
         case FaultEvent::Kind::kHeal:
           sys.heal();
           break;
+        case FaultEvent::Kind::kSwitch:
+          // The lowest live member initiates; non-coordinators relay the
+          // request to MBRSHIP's coordinator, so which member fires it is
+          // immaterial. A rejected spec (illegal transition) leaves the
+          // group on its current stack, which the cross-epoch oracle then
+          // judges as "no switch anywhere" -- still a consistent outcome.
+          for (auto& ctx : ctxs) {
+            if (ctx->log.crashed) continue;
+            try {
+              ctx->ep->reconfigure(kGroup, e.spec);
+            } catch (const std::exception&) {
+            }
+            break;
+          }
+          break;
       }
       continue;
     }
@@ -328,6 +344,11 @@ RunResult run_scenario(const Scenario& scn, std::uint64_t seed,
   RunLog log;
   log.casts_per_round = s.casts_per_round;
   log.sent = sent;
+  log.clean = std::none_of(res.plan.begin(), res.plan.end(),
+                           [](const FaultEvent& e) {
+                             return e.kind == FaultEvent::Kind::kCrash ||
+                                    e.kind == FaultEvent::Kind::kPartition;
+                           });
   for (auto& ctx : ctxs) {
     // Detach the instruments: the system outlives the contexts and the
     // hash accumulator, so nothing may fire during teardown.
@@ -342,6 +363,14 @@ RunResult run_scenario(const Scenario& scn, std::uint64_t seed,
   res.oracles = s.oracles == kAutoOracles
                     ? auto_oracles(ctxs[0]->ep->stack().provided_properties())
                     : s.oracles;
+  // A plan with a live switch always gets the switch oracle, whatever the
+  // stack provides: losing messages across an epoch boundary is a bug in
+  // the reconfiguration machinery, not in any one layer.
+  if (std::any_of(res.plan.begin(), res.plan.end(), [](const FaultEvent& e) {
+        return e.kind == FaultEvent::Kind::kSwitch;
+      })) {
+    res.oracles |= static_cast<OracleSet>(Oracle::kCrossEpoch);
+  }
   res.violations = evaluate(res.oracles, log);
   res.event_hash = log_hash(log);
   res.dispatch_hash = dispatch_hash;

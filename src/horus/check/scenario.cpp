@@ -15,6 +15,7 @@ std::string oracle_name(Oracle o) {
     case Oracle::kCausal: return "causal";
     case Oracle::kStability: return "stability";
     case Oracle::kViewAgreement: return "view-agreement";
+    case Oracle::kCrossEpoch: return "cross-epoch";
   }
   return "unknown";
 }
@@ -23,7 +24,8 @@ namespace {
 
 const Oracle kAll[] = {Oracle::kNoDupNoCreation, Oracle::kVirtualSynchrony,
                        Oracle::kTotalOrder,      Oracle::kCausal,
-                       Oracle::kStability,       Oracle::kViewAgreement};
+                       Oracle::kStability,       Oracle::kViewAgreement,
+                       Oracle::kCrossEpoch};
 
 }  // namespace
 
@@ -96,6 +98,10 @@ Json Scenario::to_json() const {
   j["delay_max_us"] = delay_max;
   j["crashes"] = crashes;
   j["partitions"] = partitions;
+  if (!switch_spec.empty()) {
+    j["switch_spec"] = switch_spec;
+    j["switch_at_us"] = switch_at;
+  }
   j["oracles"] = oracles_to_string(oracles);
   return j;
 }
@@ -116,6 +122,9 @@ Scenario Scenario::from_json(const Json& j) {
   s.delay_max = j.at("delay_max_us").as_u64();
   s.crashes = static_cast<int>(j.at("crashes").as_u64());
   s.partitions = static_cast<int>(j.at("partitions").as_u64());
+  // Optional (absent in pre-reconfiguration artifacts).
+  if (const Json* sw = j.find("switch_spec")) s.switch_spec = sw->as_string();
+  if (const Json* at = j.find("switch_at_us")) s.switch_at = at->as_u64();
   s.oracles = parse_oracles(j.at("oracles").as_string());
   return s;
 }
@@ -138,6 +147,9 @@ std::string FaultEvent::to_string() const {
     case Kind::kHeal:
       out += "heal";
       break;
+    case Kind::kSwitch:
+      out += "switch to " + spec;
+      break;
   }
   return out;
 }
@@ -159,6 +171,10 @@ Json FaultEvent::to_json() const {
     case Kind::kHeal:
       j["kind"] = "heal";
       break;
+    case Kind::kSwitch:
+      j["kind"] = "switch";
+      j["spec"] = spec;
+      break;
   }
   j["at_us"] = at;
   return j;
@@ -176,6 +192,9 @@ FaultEvent FaultEvent::from_json(const Json& j) {
     for (const Json& m : j.at("cell").items()) e.cell.push_back(m.as_u64());
   } else if (kind == "heal") {
     e.kind = Kind::kHeal;
+  } else if (kind == "switch") {
+    e.kind = Kind::kSwitch;
+    e.spec = j.at("spec").as_string();
   } else {
     throw std::runtime_error("unknown fault event kind '" + kind + "'");
   }
@@ -229,6 +248,23 @@ Plan derive_plan(const Scenario& scn, std::uint64_t seed) {
     plan.push_back(split);
     plan.push_back(heal);
     cursor = heal.at;
+  }
+
+  // Live switch: one event, at a seed-dependent time inside the middle of
+  // the workload unless the scenario pins it. Its own stream, so adding a
+  // switch leaves the crash/partition schedules untouched.
+  if (!scn.switch_spec.empty()) {
+    FaultEvent e;
+    e.kind = FaultEvent::Kind::kSwitch;
+    e.spec = scn.switch_spec;
+    if (scn.switch_at != 0) {
+      e.at = scn.switch_at;
+    } else {
+      Rng sw_rng(stream_seed(seed, fnv1a64("plan-switch")));
+      e.at = window / 4 +
+             sw_rng.next_below(std::max<sim::Duration>(1, window / 2));
+    }
+    plan.push_back(e);
   }
 
   std::stable_sort(plan.begin(), plan.end(),

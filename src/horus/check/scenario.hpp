@@ -30,13 +30,15 @@ enum class Oracle : std::uint32_t {
   kCausal = 1u << 3,           ///< delivery respects happens-before
   kStability = 1u << 4,        ///< stability matrices never overclaim acks
   kViewAgreement = 1u << 5,    ///< live members converge on one final view
+  kCrossEpoch = 1u << 6,       ///< live reconfiguration loses/dups/reorders
+                               ///< nothing; members agree on the final epoch
 };
 using OracleSet = std::uint32_t;
 
 /// Empty set means "select automatically from the stack's provided
 /// properties" (the runner resolves it once the stack is built).
 constexpr OracleSet kAutoOracles = 0;
-constexpr OracleSet kAllOracles = (1u << 6) - 1;
+constexpr OracleSet kAllOracles = (1u << 7) - 1;
 
 [[nodiscard]] std::string oracle_name(Oracle o);
 /// Parse "total-order,causal" (or "auto" / "all"); throws
@@ -70,6 +72,13 @@ struct Scenario {
   int crashes = 1;     ///< fail-stop crashes (victims never include member 0)
   int partitions = 0;  ///< partition/heal episodes during the workload
 
+  /// Live reconfiguration: when non-empty, the plan gains one kSwitch event
+  /// that reconfigures the group to this spec mid-workload (the lowest
+  /// live member initiates). switch_at = 0 derives a seed-dependent time
+  /// inside the workload window; non-zero pins the offset.
+  std::string switch_spec;
+  sim::Duration switch_at = 0;
+
   OracleSet oracles = kAutoOracles;
 
   /// Clamp impossible budgets (crashes that would leave < 2 live members,
@@ -83,12 +92,13 @@ struct Scenario {
 /// One scenario-level fault, scheduled relative to workload start (the
 /// simulated time of the first round, after group formation).
 struct FaultEvent {
-  enum class Kind : std::uint8_t { kCrash, kPartition, kHeal };
+  enum class Kind : std::uint8_t { kCrash, kPartition, kHeal, kSwitch };
   Kind kind = Kind::kCrash;
   sim::Duration at = 0;            ///< offset from workload start
   std::size_t member = 0;          ///< kCrash: victim index
   std::vector<std::size_t> cell;   ///< kPartition: members of cell A
                                    ///< (everyone else forms cell B)
+  std::string spec;                ///< kSwitch: the stack to switch to
 
   [[nodiscard]] std::string to_string() const;
   [[nodiscard]] Json to_json() const;

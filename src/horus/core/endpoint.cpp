@@ -13,7 +13,8 @@ Endpoint::Endpoint(Address addr, StackConfig cfg,
       exec_(exec ? std::move(exec)
                  : std::make_unique<runtime::GroupExecutor>()),
       transport_(&transport),
-      sched_(&sched) {
+      sched_(&sched),
+      net_props_(network_properties) {
   stack_ = std::make_unique<Stack>(std::move(cfg), std::move(layers),
                                    network_properties, transport, sched, *exec_,
                                    *this);
@@ -35,10 +36,13 @@ Group& Endpoint::group(GroupId gid) {
 
 Group& Endpoint::ensure_group(GroupId gid, Stack& on) {
   if (Group* g = find_group(gid)) return *g;
-  auto g = std::make_unique<Group>(gid, on);
+  auto g = std::make_unique<Group>(gid, on, on.epoch_stamp());
   // Until a membership layer (or the application's view downcall) installs
   // a real view, the group is a singleton: just this endpoint.
   g->set_view(View(ViewId{0, addr_}, {addr_}));
+  // Reconfiguration legality default: a switch must preserve everything
+  // the join-time stack delivered, until the application relaxes it.
+  g->set_required(on.provided_properties());
   on.init_group(*g);
   Group& ref = *g;
   {
@@ -208,6 +212,211 @@ void Endpoint::install_view(GroupId gid, std::vector<Address> members) {
   // Down the stack the group actually lives on: with cactus stacks the
   // group may belong to a branch, not the trunk.
   g.stack().down(g, std::move(ev));
+}
+
+// ---------------------------------------------------------------------------
+// Live reconfiguration
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<props::LayerSpec> spec_rows(
+    const std::vector<std::unique_ptr<Layer>>& layers) {
+  std::vector<props::LayerSpec> out;
+  out.reserve(layers.size());
+  for (const auto& l : layers) out.push_back(l->info().spec);
+  return out;
+}
+
+/// Index of the layer that coordinates switches (MBRSHIP), or npos.
+std::size_t coordinator_index(const std::vector<std::unique_ptr<Layer>>& layers) {
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    if (layers[i]->info().reconfig_coordinator) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+}  // namespace
+
+props::TransitionCheck Endpoint::check_transition_for(
+    Group& g, const std::string& new_spec) {
+  if (!layer_factory_) {
+    throw std::logic_error(
+        "reconfigure: no layer factory installed (create the endpoint "
+        "through HorusSystem, or call set_layer_factory)");
+  }
+  std::vector<std::unique_ptr<Layer>> trial;
+  props::TransitionCheck tc;
+  try {
+    trial = layer_factory_(new_spec);
+  } catch (const std::exception& e) {
+    // Unknown layer names and similar factory failures reject the switch
+    // like any other illegal transition (with the factory's diagnosis).
+    tc.error = e.what();
+    return tc;
+  }
+  tc = props::check_transition(spec_rows(g.stack().layers()), spec_rows(trial),
+                               net_props_, g.required());
+  if (!tc.legal) return tc;
+  // Structural rule: the chain at and above the switch coordinator must be
+  // unchanged. The coordinator (MBRSHIP) survives the switch as the same
+  // protocol instance logically -- its flush drains the old epoch and its
+  // view carries over -- and layers above it keep their header geometry so
+  // captured in-flight casts replay into the new epoch byte-identically.
+  std::size_t ci = coordinator_index(g.stack().layers());
+  if (ci != static_cast<std::size_t>(-1)) {
+    const auto& old_layers = g.stack().layers();
+    for (std::size_t i = 0; i <= ci; ++i) {
+      if (i >= trial.size() ||
+          trial[i]->info().name != old_layers[i]->info().name) {
+        tc.legal = false;
+        tc.error = "layers at and above the reconfiguration coordinator (" +
+                   old_layers[ci]->info().name +
+                   ") must be unchanged; the switch may only replace layers "
+                   "below it (old " +
+                   g.stack().spec_string() + ", new " + new_spec + ")";
+        return tc;
+      }
+    }
+  }
+  return tc;
+}
+
+props::TransitionCheck Endpoint::check_reconfig(GroupId gid,
+                                                const std::string& new_spec) {
+  return check_transition_for(group(gid), new_spec);
+}
+
+void Endpoint::reconfigure(GroupId gid, const std::string& new_spec) {
+  Group& g = group(gid);  // throws if not a member
+  props::TransitionCheck tc = check_transition_for(g, new_spec);
+  if (!tc.legal) {
+    msg_path_stats().reconfigs_rejected.fetch_add(1, std::memory_order_relaxed);
+    throw std::invalid_argument("reconfigure " + to_string(gid) + ": " +
+                                tc.error);
+  }
+  msg_path_stats().reconfigs_requested.fetch_add(1, std::memory_order_relaxed);
+  if (coordinator_index(g.stack().layers()) != static_cast<std::size_t>(-1)) {
+    // Coordinated: descend a kReconfig; the membership layer rides its
+    // view-change flush and calls complete_reconfig on install.
+    DownEvent ev;
+    ev.type = DownType::kReconfig;
+    ev.info = new_spec;
+    downcall(gid, std::move(ev));
+    return;
+  }
+  // Membership-less stack: switch locally, as a group-serialized task.
+  exec_->post(gid.id, [this, gid, new_spec]() {
+    if (crashed()) return;
+    Group* grp = find_group(gid);
+    if (grp == nullptr || grp->destroyed()) return;
+    local_switch(*grp, new_spec);
+  });
+}
+
+void Endpoint::set_required(GroupId gid, props::PropertySet required) {
+  group(gid).set_required(required);
+}
+
+bool Endpoint::validate_reconfig(Group& g, const std::string& spec) {
+  if (!layer_factory_) return false;
+  try {
+    if (check_transition_for(g, spec).legal) return true;
+  } catch (const std::exception&) {
+    // Unknown layer names and similar factory failures reject the switch.
+  }
+  msg_path_stats().reconfigs_rejected.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+Stack* Endpoint::build_epoch_stack(const std::string& spec,
+                                   std::uint32_t epoch) {
+  if (!layer_factory_) return nullptr;
+  std::unique_ptr<Stack> ns;
+  try {
+    ns = std::make_unique<Stack>(stack_->config(), layer_factory_(spec),
+                                 net_props_, *transport_, *sched_, *exec_,
+                                 *this, epoch);
+  } catch (const std::exception&) {
+    return nullptr;
+  }
+  if (on_stack_built_) on_stack_built_(*ns);
+  Stack* raw = ns.get();
+  std::lock_guard lock(epoch_stacks_mu_);
+  epoch_stacks_.push_back(std::move(ns));
+  return raw;
+}
+
+void Endpoint::complete_reconfig(Group& g, const std::string& spec,
+                                 std::uint32_t epoch,
+                                 const ReconfigInstall& inst) {
+  Stack* ns = build_epoch_stack(spec, epoch);
+  if (ns == nullptr) return;  // cannot build here; stay on the old epoch
+  Stack& old = g.stack();
+  g.adopt_epoch(*ns, epoch, ns->epoch_stamp());
+  ns->init_group(g);
+  g.set_view(inst.view);
+
+  // Transfer layer state across the name-identical prefix from the top:
+  // those layers keep both their position and their header geometry, so
+  // exported state (retransmit buffers, vector clocks, captured casts)
+  // stays valid in the new epoch. The first name mismatch ends the
+  // transfer; everything below it is drain-only.
+  const auto& ol = old.layers();
+  const auto& nl = ns->layers();
+  for (std::size_t i = 0; i < ol.size() && i < nl.size(); ++i) {
+    if (ol[i]->info().name != nl[i]->info().name) break;
+    Writer w;
+    ol[i]->export_state(g, w);
+    if (w.size() == 0) continue;
+    Bytes blob = w.take();
+    Reader r{ByteSpan(blob)};
+    try {
+      nl[i]->import_state(g, r);
+      msg_path_stats().state_transfers.fetch_add(1, std::memory_order_relaxed);
+    } catch (const DecodeError&) {
+      // A transfer the new layer cannot decode degrades to drain-only.
+    }
+  }
+
+  // The new chain resumes service: top to bottom, so upper layers are
+  // ready before lower ones start emitting upcalls.
+  for (const auto& l : nl) l->on_reconfig_install(g, inst);
+
+  // Retire the shadow once its drain window passes. Epoch 0 stays forever:
+  // it is the rendezvous epoch that answers joins and merges from peers
+  // still speaking the original spec.
+  GroupId gid = g.gid();
+  Stack* old_ptr = &old;
+  if (old.epoch() != 0) {
+    ns->schedule(gid, ns->config().reconfig_drain, [old_ptr](Group& gg) {
+      if (gg.retire_epoch(*old_ptr)) {
+        msg_path_stats().shadows_retired.fetch_add(1,
+                                                   std::memory_order_relaxed);
+      }
+    });
+  }
+  msg_path_stats().reconfigs_completed.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool Endpoint::adopt_epoch_for_join(Group& g, const std::string& spec,
+                                    std::uint32_t epoch) {
+  if (g.stack().spec_string() == spec && g.epoch_number() == epoch) {
+    return true;  // already there
+  }
+  Stack* ns = build_epoch_stack(spec, epoch);
+  if (ns == nullptr) return false;
+  g.adopt_epoch(*ns, epoch, ns->epoch_stamp());
+  ns->init_group(g);
+  return true;
+}
+
+void Endpoint::local_switch(Group& g, const std::string& spec) {
+  ReconfigInstall inst;
+  inst.view = g.view();
+  inst.epoch = g.epoch_number() + 1;
+  inst.coordinated = false;
+  complete_reconfig(g, spec, inst.epoch, inst);
 }
 
 void Endpoint::destroy() {

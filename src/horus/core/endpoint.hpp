@@ -7,16 +7,24 @@
 #include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
+#include <string>
 #include <unordered_map>
 
 #include "horus/core/stack.hpp"
+#include "horus/properties/algebra.hpp"
 
 namespace horus {
 
 class Endpoint {
  public:
   using UpcallHandler = std::function<void(Group&, UpEvent&)>;
+  /// Builds a layer chain (top to bottom) from a stack spec string. The
+  /// core cannot depend on the layer registry, so live reconfiguration
+  /// needs this hook; HorusSystem installs layers::make_stack.
+  using LayerFactory =
+      std::function<std::vector<std::unique_ptr<Layer>>(const std::string&)>;
 
   /// `layers` top to bottom; `network_properties` describes the transport
   /// (normally just P1). If `exec` is null a GroupExecutor is used (the
@@ -101,6 +109,61 @@ class Endpoint {
   /// MBRSHIP manage views themselves and absorb this call.
   void install_view(GroupId gid, std::vector<Address> members);
 
+  // -- live reconfiguration ---------------------------------------------------
+
+  /// Install the spec->layers factory that live reconfiguration uses to
+  /// build new layer chains (normally layers::make_stack, wired up by
+  /// HorusSystem). Without it reconfigure() throws.
+  void set_layer_factory(LayerFactory f) { layer_factory_ = std::move(f); }
+  /// Called for every stack built by a live switch, before it goes live
+  /// (contract-monitor installation and similar instrumentation).
+  void set_stack_hook(std::function<void(Stack&)> h) {
+    on_stack_built_ = std::move(h);
+  }
+  [[nodiscard]] props::PropertySet network_properties() const {
+    return net_props_;
+  }
+
+  /// Switch the group's protocol stack live. The target spec is checked
+  /// (well-formed, and its provided properties cover the group's required
+  /// set -- see Group::set_required); an illegal transition throws
+  /// std::invalid_argument carrying the property delta and nothing changes.
+  /// A legal switch is coordinated by the stack's membership layer (it
+  /// rides a view-change flush so no message is lost, duplicated or
+  /// reordered across the epoch boundary); membership-less stacks switch
+  /// locally. Completion is asynchronous: the application sees a VIEW
+  /// upcall from the new epoch.
+  void reconfigure(GroupId gid, const std::string& new_spec);
+
+  /// Dry-run the legality check reconfigure() applies (also what
+  /// `horus-lint --diff` prints). Does not switch anything.
+  props::TransitionCheck check_reconfig(GroupId gid,
+                                        const std::string& new_spec);
+
+  /// Declare the property set the application requires of `gid`'s stack
+  /// (reconfigurations that would drop any of it are rejected). Defaults
+  /// to everything the join-time stack provided.
+  void set_required(GroupId gid, props::PropertySet required);
+
+  // Reconfiguration plumbing (called by the membership layer from inside
+  // the group's serialized task; not application API).
+
+  /// Non-throwing legality check used coordinator-side before accepting a
+  /// peer's switch request. Counts a rejection when illegal.
+  bool validate_reconfig(Group& g, const std::string& spec);
+  /// Install `spec` as the group's next epoch: build the chain, swap the
+  /// current epoch (the old one becomes a draining shadow), transfer layer
+  /// state across the name-identical prefix, notify the new chain via
+  /// on_reconfig_install, and schedule the shadow's retirement.
+  void complete_reconfig(Group& g, const std::string& spec,
+                         std::uint32_t epoch, const ReconfigInstall& inst);
+  /// A still-joining member learned the group switched specs: adopt the
+  /// new (spec, epoch) without state transfer or install emission so the
+  /// join can proceed on the new epoch. Returns false if the spec cannot
+  /// be built here.
+  bool adopt_epoch_for_join(Group& g, const std::string& spec,
+                            std::uint32_t epoch);
+
   /// Tear down the endpoint: leave all groups, emit DESTROY.
   void destroy();
 
@@ -135,13 +198,27 @@ class Endpoint {
  private:
   Group& ensure_group(GroupId gid, Stack& on);
   void downcall(GroupId gid, DownEvent ev);
+  /// Build a reconfiguration stack epoch (owned by the endpoint; epoch
+  /// stacks stay allocated until endpoint destruction because timers and
+  /// shadow records hold raw pointers). Returns nullptr on factory failure.
+  Stack* build_epoch_stack(const std::string& spec, std::uint32_t epoch);
+  props::TransitionCheck check_transition_for(Group& g,
+                                              const std::string& new_spec);
+  void local_switch(Group& g, const std::string& spec);
 
   Address addr_;
   std::unique_ptr<runtime::Executor> exec_;
   Transport* transport_;
   sim::Scheduler* sched_;
+  props::PropertySet net_props_ = 0;
   std::unique_ptr<Stack> stack_;
   std::vector<std::unique_ptr<Stack>> extra_stacks_;
+  // Stacks built by live reconfiguration. Guarded: switches for different
+  // groups may build concurrently on different executor shards.
+  std::mutex epoch_stacks_mu_;
+  std::vector<std::unique_ptr<Stack>> epoch_stacks_;
+  LayerFactory layer_factory_;
+  std::function<void(Stack&)> on_stack_built_;
   // Written on the application thread (join/leave), read on every executor
   // shard (each task re-finds its group). Lookups take the shared side so
   // the receive hot path never contends with other readers.

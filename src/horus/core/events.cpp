@@ -21,6 +21,7 @@ const char* to_string(DownType t) {
     case DownType::kDestroy: return "destroy";
     case DownType::kFocus: return "focus";
     case DownType::kDump: return "dump";
+    case DownType::kReconfig: return "reconfig";
   }
   return "?";
 }
@@ -62,6 +63,7 @@ const char* describe(DownType t) {
     case DownType::kDestroy: return "clean up endpoint";
     case DownType::kFocus: return "focus on layer and return handle";
     case DownType::kDump: return "dump layer information";
+    case DownType::kReconfig: return "switch the stack of protocols live";
   }
   return "?";
 }
@@ -93,6 +95,7 @@ const std::vector<DownType>& all_downcalls() {
       DownType::kSend,   DownType::kAck,      DownType::kStable,
       DownType::kLeave,  DownType::kFlush,    DownType::kFlushOk,
       DownType::kDestroy, DownType::kFocus,   DownType::kDump,
+      DownType::kReconfig,
   };
   return v;
 }

@@ -33,6 +33,7 @@ enum class DownType : std::uint8_t {
   kDestroy,       ///< clean up endpoint
   kFocus,         ///< focus on a layer and return handle
   kDump,          ///< dump layer information (diagnostics)
+  kReconfig,      ///< switch the group's protocol stack (argument: new spec)
 };
 
 /// Table 2: Horus upcalls.
@@ -98,7 +99,8 @@ struct DownEvent {
   View view;                    ///< kView (external membership input)
   std::uint64_t msg_id = 0;     ///< kAck/kStable: id of the acked message
   Address msg_source{};         ///< kAck/kStable: sender of the acked message
-  std::string info;             ///< kDump/kFocus argument, kMergeDenied reason
+  std::string info;             ///< kDump/kFocus argument, kMergeDenied reason,
+                                ///< kReconfig target stack spec
 };
 
 /// An event traveling up a stack.

@@ -2,16 +2,25 @@
 // group a process has joined -- the group address, the current view, and
 // one state slot per layer in the endpoint's stack. "Horus allows different
 // endpoints to have different views of the same group."
+//
+// Live reconfiguration makes the stack an *epoch-versioned* attribute of
+// the group rather than a fixed one: the group keeps a small table of
+// epochs, each pairing a Stack (layer chain + header layout) with that
+// chain's per-group layer state. Exactly one epoch is current; superseded
+// epochs linger as *draining shadows* so datagrams stamped with an old
+// epoch are still parsed by the layout that produced them, then retire.
 #pragma once
 
 #include <atomic>
 #include <cassert>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "horus/core/layer.hpp"
 #include "horus/core/types.hpp"
 #include "horus/core/view.hpp"
+#include "horus/properties/property.hpp"
 
 namespace horus {
 
@@ -19,47 +28,161 @@ class Stack;
 
 class Group {
  public:
-  Group(GroupId gid, Stack& stack) : gid_(gid), stack_(&stack) {}
+  /// One stack epoch: a layer chain plus its per-group state slots. The
+  /// stamp is what datagrams of this epoch carry on the wire.
+  struct Epoch {
+    Stack* stack = nullptr;
+    std::uint32_t number = 0;
+    std::uint16_t stamp = 0;
+    bool draining = false;  ///< superseded; parses stragglers only
+    std::vector<std::unique_ptr<LayerState>> states;
+  };
+
+  Group(GroupId gid, Stack& stack, std::uint16_t stamp = 0)
+      : gid_(gid), current_(&stack) {
+    Epoch e;
+    e.stack = &stack;
+    e.stamp = stamp;
+    epochs_.push_back(std::move(e));
+  }
   Group(const Group&) = delete;
   Group& operator=(const Group&) = delete;
 
   [[nodiscard]] GroupId gid() const { return gid_; }
-  [[nodiscard]] Stack& stack() const { return *stack_; }
+
+  /// The *current* epoch's stack. Loaded atomically: application threads
+  /// read it to post downcall tasks while a reconfig task on the group's
+  /// shard may be swapping epochs. The task body re-resolves through the
+  /// group, so a raced downcall still enters whichever epoch is current
+  /// when it actually runs.
+  [[nodiscard]] Stack& stack() const {
+    return *current_.load(std::memory_order_acquire);
+  }
 
   /// The view as currently installed at this member. Membership layers
   /// update it; for membership-less stacks it is just the destination set.
   [[nodiscard]] const View& view() const { return view_; }
   void set_view(View v) { view_ = std::move(v); }
 
-  // destroyed_ is the one flag crossing threads under a sharded runtime:
-  // set on the application thread, checked at the head of every task on the
-  // group's shard. All other Group state (view, layer state slots) is only
-  // ever touched inside the group's own serialized tasks -- the group
-  // object is the monitor (Section 3), which is exactly why per-layer locks
-  // are unnecessary.
+  // destroyed_ and current_ are the only fields crossing threads under a
+  // sharded runtime: set on the application thread (destroy) or inside a
+  // group task (epoch swap), read at task heads and downcall posting. All
+  // other Group state (view, epoch table, layer state slots) is only ever
+  // touched inside the group's own serialized tasks -- the group object is
+  // the monitor (Section 3), which is exactly why per-layer locks are
+  // unnecessary.
   [[nodiscard]] bool destroyed() const {
     return destroyed_.load(std::memory_order_acquire);
   }
   void mark_destroyed() { destroyed_.store(true, std::memory_order_release); }
 
-  /// Layer state slots, indexed by layer position in the stack.
-  std::vector<std::unique_ptr<LayerState>>& states() { return states_; }
+  // --- Epoch table (all calls below run inside group-serialized tasks,
+  // --- except knows_stack which timers use and which tolerates races by
+  // --- being re-checked inside the task that acts on it).
 
-  [[nodiscard]] LayerState* state_at(std::size_t idx) const {
-    return idx < states_.size() ? states_[idx].get() : nullptr;
+  [[nodiscard]] Epoch& current_epoch() {
+    return *epoch_for(*current_.load(std::memory_order_acquire));
   }
+  [[nodiscard]] std::uint32_t epoch_number() const {
+    for (const Epoch& e : epochs_) {
+      if (e.stack == current_.load(std::memory_order_acquire)) return e.number;
+    }
+    return 0;
+  }
+
+  /// Resolve the epoch a datagram's stamp refers to. Exact match first
+  /// (endpoints that switched along the same spec history agree on full
+  /// stamps); otherwise fall back to the epoch with the stamp's epoch
+  /// number -- a peer running a differently-named but wire-compatible
+  /// chain in the same epoch (heterogeneous stacks never switched) must
+  /// still be heard. nullptr when the epoch has already retired (the
+  /// caller drops and counts the datagram).
+  [[nodiscard]] Epoch* epoch_for_stamp(std::uint16_t stamp) {
+    for (Epoch& e : epochs_) {
+      if (e.stamp == stamp) return &e;
+    }
+    for (Epoch& e : epochs_) {
+      if ((e.number & 0xffu) == (stamp & 0xffu)) return &e;
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] Epoch* epoch_for(const Stack& s) {
+    for (Epoch& e : epochs_) {
+      if (e.stack == &s) return &e;
+    }
+    return nullptr;
+  }
+
+  /// Does this group still hold an epoch driven by `s`? Timers scheduled
+  /// through a superseded stack use this to die quietly after retirement.
+  [[nodiscard]] bool knows_stack(const Stack& s) const {
+    for (const Epoch& e : epochs_) {
+      if (e.stack == &s) return true;
+    }
+    return false;
+  }
+
+  /// Install `s` as the new current epoch. The old current epoch becomes a
+  /// draining shadow: its layers keep parsing stragglers stamped with the
+  /// old epoch until the endpoint retires it.
+  void adopt_epoch(Stack& s, std::uint32_t number, std::uint16_t stamp) {
+    if (Epoch* cur = epoch_for(stack())) cur->draining = true;
+    Epoch e;
+    e.stack = &s;
+    e.number = number;
+    e.stamp = stamp;
+    epochs_.push_back(std::move(e));
+    current_.store(&s, std::memory_order_release);
+  }
+
+  /// Drop a draining epoch's record (frees its layer state). Refuses to
+  /// retire the current epoch. Returns whether a record was removed.
+  bool retire_epoch(const Stack& s) {
+    for (auto it = epochs_.begin(); it != epochs_.end(); ++it) {
+      if (it->stack == &s) {
+        if (!it->draining) return false;  // still (or again) current
+        epochs_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::size_t epoch_count() const { return epochs_.size(); }
+
+  /// Layer state slots for one epoch's chain, indexed by layer position.
+  std::vector<std::unique_ptr<LayerState>>& states_for(const Stack& s) {
+    Epoch* e = epoch_for(s);
+    assert(e != nullptr && "states_for: unknown stack epoch");
+    return e->states;
+  }
+
+  [[nodiscard]] LayerState* state_at(const Stack& s, std::size_t idx) {
+    Epoch* e = epoch_for(s);
+    if (e == nullptr || idx >= e->states.size()) return nullptr;
+    return e->states[idx].get();
+  }
+
+  /// The property set the application requires of this group's stack; live
+  /// reconfiguration to a spec that does not cover it is rejected. Defaults
+  /// to what the join-time stack provided (a switch may only strengthen or
+  /// preserve service unless the application relaxes this).
+  [[nodiscard]] props::PropertySet required() const { return required_; }
+  void set_required(props::PropertySet p) { required_ = p; }
 
  private:
   GroupId gid_;
-  Stack* stack_;
+  std::atomic<Stack*> current_;
   View view_;
   std::atomic<bool> destroyed_{false};
-  std::vector<std::unique_ptr<LayerState>> states_;
+  props::PropertySet required_ = 0;
+  std::vector<Epoch> epochs_;
 };
 
 template <class T>
 T& Layer::state(Group& g) const {
-  auto* s = g.state_at(index_);
+  auto* s = g.state_at(*stack_, index_);
   assert(s != nullptr && "layer state missing");
   return *static_cast<T*>(s);
 }

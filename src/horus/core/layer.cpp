@@ -17,6 +17,12 @@ void Layer::dump(Group&, std::string& out) const {
   out += info().name + ": (no state)\n";
 }
 
+void Layer::export_state(Group&, Writer&) {}
+
+void Layer::import_state(Group&, Reader&) {}
+
+void Layer::on_reconfig_install(Group&, const ReconfigInstall&) {}
+
 void Layer::down_batch(Group& g, std::span<DownEvent> evs) {
   for (DownEvent& ev : evs) down(g, ev);
 }

@@ -22,6 +22,19 @@ namespace horus {
 
 class Stack;
 class Group;
+class Writer;
+class Reader;
+
+/// Context handed to every layer of a freshly-installed stack epoch after
+/// state transfer (Section: live reconfiguration). Carries what a layer
+/// needs to resume service in the new epoch without a fresh join.
+struct ReconfigInstall {
+  View view;                   ///< the view in force across the switch
+  std::uint32_t epoch = 0;     ///< the new stack epoch number
+  bool coordinated = false;    ///< true if a flush round preceded the switch
+  bool completed_flush = false;  ///< the flush drained app-held messages too
+  bool blocked = false;        ///< primary-partition: sending stays blocked
+};
 
 /// Static description of a layer: its name (used in stack spec strings),
 /// the header fields it needs (Section 10: "a protocol will specify ...
@@ -50,6 +63,10 @@ struct LayerInfo {
   /// set. kEmitsUndeclared (the default) disables the check for the layer.
   std::uint32_t up_emits = kEmitsUndeclared;
   static constexpr std::uint32_t kEmitsUndeclared = ~0u;
+  /// This layer coordinates live stack switches: a kReconfig downcall stops
+  /// here and rides the layer's own agreement machinery (MBRSHIP rides its
+  /// view-change flush). Stacks without such a layer switch locally.
+  bool reconfig_coordinator = false;
 };
 
 /// Base class for per-group layer state kept inside the Group object.
@@ -87,6 +104,28 @@ class Layer {
 
   /// Diagnostics: append a human-readable dump of per-group state.
   virtual void dump(Group& g, std::string& out) const;
+
+  /// Live-reconfiguration state transfer (HCPI extension). When a group
+  /// switches stacks, layers sharing a name with their counterpart in the
+  /// old chain may carry state across the epoch boundary: the old layer's
+  /// export_state() encodes whatever must survive (NAK retransmit buffers,
+  /// CAUSAL vector clocks, ...) and the new layer's import_state() decodes
+  /// it. The defaults transfer nothing -- "drain-only" -- which is always
+  /// safe: the old epoch's shadow chain keeps draining in-flight traffic.
+  virtual void export_state(Group& g, Writer& w);
+  virtual void import_state(Group& g, Reader& r);
+
+  /// Called on every layer of the NEW chain (top to bottom), after all
+  /// import_state() calls, when a new stack epoch goes live for `g`. Layers
+  /// that normally learn the view via a join/flush round resume from
+  /// `inst.view` instead. Default: no-op.
+  virtual void on_reconfig_install(Group& g, const ReconfigInstall& inst);
+
+  /// The real protocol object behind any decorators: CheckedLayer overrides
+  /// this to return its wrapped layer, so code that needs the concrete type
+  /// (the reconfiguration handover locating the new epoch's MBRSHIP) can
+  /// dynamic_cast through contract monitors.
+  virtual Layer* innermost() { return this; }
 
   /// Wired up by Stack during construction. Virtual so that decorators
   /// (analysis::CheckedLayer) can attach their inner layer alongside.

@@ -256,21 +256,24 @@ Bytes Message::to_wire(std::size_t region_bytes) const {
 }
 
 MutByteSpan Message::finalize_wire(std::uint64_t gid, std::size_t region_bytes,
-                                   std::size_t trailer_room) {
+                                   std::size_t trailer_room,
+                                   std::uint16_t epoch_stamp) {
   assert(!rx() && "finalize_wire on a received message");
   if (!linear()) return {};
   if (pay_off_ + pay_len_ + trailer_room > wb_->capacity()) return {};
-  if (!wb_.unique()) unshare(8 + region_bytes);
-  std::size_t prefix = 8 + region_bytes;
+  if (!wb_.unique()) unshare(10 + region_bytes);
+  std::size_t prefix = 10 + region_bytes;  // gid + epoch stamp
   if (head_ - region_cap_ < prefix) grow_headroom(prefix);
   std::uint8_t* base = wb_->data();
   std::uint8_t* p = base + head_ - prefix;
   for (int i = 0; i < 8; ++i) {
     p[i] = static_cast<std::uint8_t>(gid >> (8 * i));
   }
+  p[8] = static_cast<std::uint8_t>(epoch_stamp);
+  p[9] = static_cast<std::uint8_t>(epoch_stamp >> 8);
   std::size_t staged = std::min(region_len_, region_bytes);
-  std::memcpy(p + 8, base, staged);
-  std::memset(p + 8 + staged, 0, region_bytes - staged);
+  std::memcpy(p + 10, base, staged);
+  std::memset(p + 10 + staged, 0, region_bytes - staged);
   msg_path_stats().wire_fastpath.fetch_add(1, std::memory_order_relaxed);
   return MutByteSpan(p, prefix + (pay_off_ - head_) + pay_len_ + trailer_room);
 }

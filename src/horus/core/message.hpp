@@ -128,15 +128,17 @@ class Message {
   [[nodiscard]] Bytes to_wire(std::size_t region_bytes) const;
 
   /// Build the complete framed datagram in place inside the wire buffer:
-  /// [gid (8 bytes LE)][region padded to region_bytes][headers][payload]
-  /// [`trailer_room` uninitialized trailer bytes for the caller to fill].
+  /// [gid (8 bytes LE)][stack-epoch stamp (2 bytes LE)][region padded to
+  /// region_bytes][headers][payload][`trailer_room` uninitialized trailer
+  /// bytes for the caller to fill].
   /// Returns the datagram as a view into the buffer, valid until the next
   /// mutation; empty span if the message is not linear or the trailer does
   /// not fit (callers fall back to the gather path). May be called more
   /// than once (retransmission); the message's logical content is unchanged.
   [[nodiscard]] MutByteSpan finalize_wire(std::uint64_t gid,
                                           std::size_t region_bytes,
-                                          std::size_t trailer_room);
+                                          std::size_t trailer_room,
+                                          std::uint16_t epoch_stamp = 0);
 
   // -- rx path: header popping ---------------------------------------------
 

@@ -5,6 +5,7 @@
 
 #include "horus/core/endpoint.hpp"
 #include "horus/util/hotpath_stats.hpp"
+#include "horus/util/rng.hpp"
 
 namespace horus {
 namespace {
@@ -18,13 +19,15 @@ bool is_data(UpType t) { return t == UpType::kCast || t == UpType::kSend; }
 
 Stack::Stack(StackConfig cfg, std::vector<std::unique_ptr<Layer>> layers,
              props::PropertySet network_properties, Transport& transport,
-             sim::Scheduler& sched, runtime::Executor& exec, Endpoint& owner)
+             sim::Scheduler& sched, runtime::Executor& exec, Endpoint& owner,
+             std::uint32_t epoch)
     : cfg_(cfg),
       layers_(std::move(layers)),
       transport_(transport),
       sched_(sched),
       exec_(exec),
-      owner_(&owner) {
+      owner_(&owner),
+      epoch_(epoch) {
   if (layers_.empty()) throw std::invalid_argument("empty protocol stack");
   if (!layers_.back()->info().is_transport) {
     throw std::invalid_argument("bottom layer " + layers_.back()->info().name +
@@ -54,6 +57,16 @@ Stack::Stack(StackConfig cfg, std::vector<std::unique_ptr<Layer>> layers,
   }
   provided_ = check.result;
 
+  // The wire stamp: epoch counter in the low byte, a hash of the layer
+  // chain's names in the high byte. Endpoints that performed the same
+  // sequence of switches agree on stamps without negotiation, and a
+  // same-counter/different-spec collision is caught by the hash byte.
+  std::uint64_t h = fnv1a64("stack-epoch");
+  for (const auto& l : layers_) {
+    h = fnv1a64_step(h, fnv1a64(l->info().name.c_str()));
+  }
+  stamp_ = static_cast<std::uint16_t>((epoch_ & 0xffu) | ((h & 0xffu) << 8));
+
   compile_layout();
   compile_skip_tables();
   compute_headroom_budget();
@@ -71,7 +84,7 @@ void Stack::compute_headroom_budget() {
   // mode; variable extensions travel as blocks in both, with a slack
   // allowance (an undersized estimate only costs a counted growth copy,
   // never correctness).
-  std::size_t h = kGidPrefix + region_bytes();
+  std::size_t h = kFramePrefix + region_bytes();
   for (const auto& l : layers_) {
     const LayerInfo& li = l->info();
     if (cfg_.codec == HeaderCodec::kPushPop) {
@@ -133,7 +146,10 @@ void Stack::down(Group& g, DownEvent ev) {
     if (owner_->crashed()) return;
     Group* grp = owner_->find_group(gid);
     if (grp == nullptr || grp->destroyed()) return;
-    forward_down(kAppSink, *grp, ev);
+    // Re-resolve the current epoch: a reconfig task may have swapped the
+    // group's stack between posting and running, and an app downcall must
+    // always enter the epoch that is current when it executes.
+    grp->stack().forward_down(kAppSink, *grp, ev);
   });
 }
 
@@ -152,7 +168,7 @@ void Stack::down_batch(Group& g, std::vector<DownEvent> evs) {
     if (owner_->crashed()) return;
     Group* grp = owner_->find_group(gid);
     if (grp == nullptr || grp->destroyed()) return;
-    forward_down_batch(kAppSink, *grp, evs);
+    grp->stack().forward_down_batch(kAppSink, *grp, evs);
   });
 }
 
@@ -168,6 +184,31 @@ void Stack::down_batch(Group& g, std::span<Message> msgs) {
   down_batch(g, std::move(evs));
 }
 
+namespace {
+
+/// Route a datagram to the stack epoch its stamp names. Runs inside the
+/// group's serialized task: the epoch table is stable here. Stale stamps
+/// (epoch already retired) are dropped and counted; shadow traffic counts
+/// so tests can observe old-epoch stragglers draining correctly.
+void route_by_epoch(Group& g, Address src,
+                    const std::shared_ptr<const Bytes>& datagram) {
+  if (datagram->size() < Stack::kFramePrefix) return;  // runt
+  std::uint16_t stamp = static_cast<std::uint16_t>(
+      (*datagram)[Stack::kGidPrefix] |
+      (static_cast<std::uint16_t>((*datagram)[Stack::kGidPrefix + 1]) << 8));
+  Group::Epoch* e = g.epoch_for_stamp(stamp);
+  if (e == nullptr) {
+    msg_path_stats().stale_epoch_drops.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (e->draining) {
+    msg_path_stats().shadow_datagrams.fetch_add(1, std::memory_order_relaxed);
+  }
+  e->stack->receive_inline(g, src, datagram);
+}
+
+}  // namespace
+
 void Stack::deliver_datagram(Address src, GroupId gid,
                              std::shared_ptr<const Bytes> datagram) {
   stats_.datagrams_received.fetch_add(1, std::memory_order_relaxed);
@@ -175,7 +216,7 @@ void Stack::deliver_datagram(Address src, GroupId gid,
     if (owner_->crashed()) return;
     Group* g = owner_->find_group(gid);
     if (g == nullptr || g->destroyed()) return;
-    layers_.back()->raw_receive(*g, src, datagram, kGidPrefix);
+    route_by_epoch(*g, src, datagram);
   });
 }
 
@@ -192,10 +233,15 @@ void Stack::deliver_datagram_batch(
       if (owner_->crashed()) return;
       Group* g = owner_->find_group(gid);
       if (g == nullptr || g->destroyed()) return;
-      layers_.back()->raw_receive(*g, src, datagram, kGidPrefix);
+      route_by_epoch(*g, src, datagram);
     });
   }
   exec_.post_batch(gid.id, std::move(tasks));
+}
+
+void Stack::receive_inline(Group& g, Address src,
+                           std::shared_ptr<const Bytes> datagram) {
+  layers_.back()->raw_receive(g, src, std::move(datagram), kFramePrefix);
 }
 
 void Stack::forward_down(std::size_t from_index, Group& g, DownEvent& ev) {
@@ -419,6 +465,10 @@ sim::TimerId Stack::schedule(GroupId gid, sim::Duration d,
       if (owner_->crashed()) return;
       Group* g = owner_->find_group(gid);
       if (g == nullptr || g->destroyed()) return;
+      // Timers armed by a retired epoch's layers die quietly: their state
+      // slots are gone. Draining shadows still tick (NAK repair keeps
+      // running while stragglers drain).
+      if (!g->knows_stack(*this)) return;
       fn(*g);
     });
   });
@@ -450,10 +500,19 @@ std::string Stack::dump(Group& g, const std::string& layer_name) const {
 }
 
 void Stack::init_group(Group& g) {
-  auto& slots = g.states();
+  auto& slots = g.states_for(*this);
   slots.clear();
   slots.reserve(layers_.size());
   for (const auto& l : layers_) slots.push_back(l->make_state(g));
+}
+
+std::string Stack::spec_string() const {
+  std::string out;
+  for (const auto& l : layers_) {
+    if (!out.empty()) out += ':';
+    out += l->info().name;
+  }
+  return out;
 }
 
 }  // namespace horus

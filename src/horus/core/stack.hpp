@@ -91,6 +91,11 @@ struct StackConfig {
   // PACK (message packing) tuning.
   PackingConfig packing;
 
+  /// Live reconfiguration: how long a superseded stack epoch keeps draining
+  /// in-flight datagrams before the endpoint retires its shadow chain and
+  /// late stragglers are dropped (counted in msg_path_stats).
+  sim::Duration reconfig_drain = 1 * sim::kSecond;
+
   // Security layers.
   Key key{0x4865726f, 0x73323031};
 
@@ -155,9 +160,12 @@ class Stack {
   /// transport adapter (info().is_transport). Throws std::invalid_argument
   /// if the composition is ill-formed under the property algebra given
   /// `network_properties`.
+  /// `epoch` is the stack-epoch number when this stack is installed by a
+  /// live reconfiguration; construct-time stacks are epoch 0.
   Stack(StackConfig cfg, std::vector<std::unique_ptr<Layer>> layers,
         props::PropertySet network_properties, Transport& transport,
-        sim::Scheduler& sched, runtime::Executor& exec, Endpoint& owner);
+        sim::Scheduler& sched, runtime::Executor& exec, Endpoint& owner,
+        std::uint32_t epoch = 0);
   Stack(const Stack&) = delete;
   Stack& operator=(const Stack&) = delete;
 
@@ -175,11 +183,21 @@ class Stack {
   void down_batch(Group& g, std::span<Message> msgs);
 
   /// Raw datagram from the transport, already demultiplexed to a group by
-  /// the endpoint (the wire carries a group-id prefix of kGidPrefix
-  /// bytes); enters the bottom via the executor.
+  /// the endpoint. The wire frame begins with a group-id prefix of
+  /// kGidPrefix bytes followed by a 2-byte stack-epoch stamp (together
+  /// kFramePrefix bytes); late arrivals stamped with a superseded epoch are
+  /// routed to that epoch's draining shadow chain instead of being
+  /// misparsed by the current layout. Enters the bottom via the executor.
   static constexpr std::size_t kGidPrefix = 8;
+  static constexpr std::size_t kFramePrefix = kGidPrefix + 2;
   void deliver_datagram(Address src, GroupId gid,
                         std::shared_ptr<const Bytes> datagram);
+
+  /// Hand a datagram to this stack's bottom layer directly, without an
+  /// executor hop. Callers (the endpoint's stamp-aware demux) must already
+  /// be inside the group's serialized task.
+  void receive_inline(Group& g, Address src,
+                      std::shared_ptr<const Bytes> datagram);
 
   /// Batched datagram delivery: one executor enqueue for the whole burst
   /// (Executor::post_batch), so N datagrams for one group cost one queue
@@ -242,6 +260,17 @@ class Stack {
   [[nodiscard]] Endpoint& endpoint() const { return *owner_; }
   [[nodiscard]] Address address() const;
 
+  /// This stack's epoch number and wire stamp. The stamp combines the
+  /// epoch counter (low byte) with a hash of the layer-chain names (high
+  /// byte): endpoints that switched along the same spec history agree on
+  /// full stamps without negotiation, while receivers fall back to the
+  /// epoch-number byte for peers running differently-named but
+  /// wire-compatible chains (Group::epoch_for_stamp).
+  [[nodiscard]] std::uint32_t epoch() const { return epoch_; }
+  [[nodiscard]] std::uint16_t epoch_stamp() const { return stamp_; }
+  /// The colon-joined spec string of this chain (top to bottom).
+  [[nodiscard]] std::string spec_string() const;
+
   // -- introspection -----------------------------------------------------------
 
   [[nodiscard]] const std::vector<std::unique_ptr<Layer>>& layers() const {
@@ -301,6 +330,8 @@ class Stack {
   std::unique_ptr<WireBufPool> pool_;
   StackStats stats_;
   HcpiMonitor* monitor_ = nullptr;
+  std::uint32_t epoch_ = 0;
+  std::uint16_t stamp_ = 0;
 };
 
 }  // namespace horus

@@ -61,14 +61,15 @@ void Com::down(Group& g, DownEvent& ev) {
 void Com::transmit(Group& g, Message& msg,
                    const std::vector<Address>& dests) {
   // Serialize once, transmit the same datagram to every destination.
-  // Frame: [group id (endpoint demux prefix)][stack bytes][crc32?].
+  // Frame: [group id (endpoint demux prefix)][stack-epoch stamp]
+  // [stack bytes][crc32?].
   std::size_t trailer = checksum_ ? 4 : 0;
   std::size_t payload = msg.payload_size();
   // Fast path: linear messages already hold the whole frame contiguously in
   // their wire buffer; finalize writes the prefix into the headroom and the
   // trailer into the tailroom, with no allocation and no copy.
-  MutByteSpan frame =
-      msg.finalize_wire(g.gid().id, stack().region_bytes(), trailer);
+  MutByteSpan frame = msg.finalize_wire(g.gid().id, stack().region_bytes(),
+                                        trailer, stack().epoch_stamp());
   if (frame.data() != nullptr) {
     if (checksum_) {
       std::size_t body = frame.size() - 4;
@@ -88,6 +89,7 @@ void Com::transmit(Group& g, Message& msg,
   msg_path_stats().wire_gather.fetch_add(1, std::memory_order_relaxed);
   Writer w;
   w.u64(g.gid().id);
+  w.u16(stack().epoch_stamp());
   w.raw(msg.to_wire(stack().region_bytes()));
   Bytes wire = w.take();
   if (checksum_) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "horus/core/endpoint.hpp"
 #include "horus/util/log.hpp"
 
 namespace horus::layers {
@@ -24,6 +25,9 @@ LayerInfo make_info() {
                                       Property::kConsistentViews});
   li.spec.cost = 5;
   li.up_emits = make_up_emits({UpType::kView, UpType::kFlush, UpType::kFlushOk, UpType::kExit, UpType::kSystemError, UpType::kMergeDenied, UpType::kMergeRequest, UpType::kCast, UpType::kSend});
+  // Live reconfiguration rides this layer's view-change flush: a switch is
+  // a view install whose bundle also names the next epoch's stack spec.
+  li.reconfig_coordinator = true;
   return li;
 }
 
@@ -185,6 +189,14 @@ void Mbrship::down(Group& g, DownEvent& ev) {
       // MBRSHIP owns view management; an external view downcall from above
       // is absorbed (membership-less stacks route it straight to NAK/COM).
       return;
+    case DownType::kReconfig:
+      // Live stack switch (the endpoint already vetted legality). The
+      // coordinator carries it on a flush; everyone else asks the
+      // coordinator.
+      if (st.phase == Phase::kNormal && !st.superseded) {
+        request_reconfig(g, st, ev.info, 0);
+      }
+      return;
     default:
       pass_down(g, ev);
       return;
@@ -243,6 +255,32 @@ void Mbrship::up(Group& g, UpEvent& ev) {
   std::uint64_t view_seq = h.fields[1];
   std::uint64_t vseq = h.fields[2];
   try {
+    if (st.superseded) {
+      // This epoch was switched away from. The shadow only drains data
+      // stragglers (stale view seqs drop in handle_data) and re-points
+      // old-spec peers at the reconfiguring install bundle.
+      switch (kind) {
+        case kData:
+          handle_data(g, st, ev, view_seq, vseq);
+          return;
+        case kJoinReq: {
+          Reader r = ev.msg.reader();
+          Address joiner{r.u64()};
+          answer_superseded(g, st, joiner, kind);
+          return;
+        }
+        case kLeaveReq:
+        case kMergeReq:
+        case kFlushMsg:
+        case kFlushReply:
+        case kGossip:
+        case kFailReport:
+          answer_superseded(g, st, ev.source, kind);
+          return;
+        default:
+          return;  // stale installs/resyncs for a dead epoch: ignore
+      }
+    }
     switch (kind) {
       case kData:
         handle_data(g, st, ev, view_seq, vseq);
@@ -288,6 +326,18 @@ void Mbrship::up(Group& g, UpEvent& ev) {
         out.source = ev.source;
         out.info = r.str();
         pass_up(g, out);
+        return;
+      }
+      case kReconfigReq: {
+        Reader r = ev.msg.reader();
+        std::string spec = r.str();
+        std::uint64_t floor = r.varint();
+        if (st.phase != Phase::kNormal) return;
+        if (!g.view().contains(ev.source)) return;
+        // Re-check legality coordinator-side: the requester's required set
+        // may differ from ours, and specs from the network are untrusted.
+        if (!stack().endpoint().validate_reconfig(g, spec)) return;
+        request_reconfig(g, st, spec, floor);
         return;
       }
       default:
@@ -679,6 +729,16 @@ void Mbrship::install_view(Group& g, State& st) {
   w.u8(blocked ? 1 : 0);
   nv.encode(w);
   encode_entries(w, st.collected);
+  // Reconfiguration tail: if this flush carries a live stack switch, the
+  // bundle also names the next epoch's spec and number. Old decoders never
+  // read past the entries, so the tail is backward-compatible.
+  bool reconfig = !st.pending_spec.empty();
+  w.u8(reconfig ? 1 : 0);
+  if (reconfig) {
+    w.str(st.pending_spec);
+    w.varint(std::max<std::uint64_t>(g.epoch_number() + 1,
+                                     st.pending_epoch_floor));
+  }
   Bytes bundle = w.take();
 
   std::set<Address> dests(nv.members().begin(), nv.members().end());
@@ -704,6 +764,15 @@ void Mbrship::handle_view_install(Group& g, State& st, const Address& src,
   bool blocked = r.u8() != 0;
   View nv = View::decode(r);
   auto entries = decode_entries(r);
+  // Reconfiguration tail (absent in pre-switch bundles).
+  bool reconfig = r.remaining() > 0 && r.u8() != 0;
+  std::string rspec;
+  std::uint64_t repoch = 0;
+  if (reconfig) {
+    rspec = r.str();
+    repoch = r.varint();
+  }
+  bool switching = reconfig && repoch > g.epoch_number();
   if (nv.id().seq <= g.view().id().seq && st.phase != Phase::kJoining) {
     // Non-monotonic install: typically a merge where the absorbing side's
     // view seq lags ours (both partitions flushed independently). We cannot
@@ -714,6 +783,34 @@ void Mbrship::handle_view_install(Group& g, State& st, const Address& src,
       Writer w;
       g.view().encode(w);
       send_oob(g, kMergeReq, src, w.data());
+    }
+    return;
+  }
+
+  if (switching && st.phase == Phase::kJoining) {
+    // The group switched stacks while we were knocking. Adopt the new
+    // (spec, epoch) locally, then re-run this install in the new epoch's
+    // membership layer -- or re-knock there if this view predates us.
+    stack().cancel(st.join_timer);
+    st.join_timer = 0;
+    Address contact = st.join_contact.valid() ? st.join_contact : src;
+    if (!stack().endpoint().adopt_epoch_for_join(
+            g, rspec, static_cast<std::uint32_t>(repoch))) {
+      return;  // cannot build the new spec here
+    }
+    Layer* found = g.stack().find_layer("MBRSHIP");
+    auto* nm = found != nullptr ? dynamic_cast<Mbrship*>(found->innermost())
+                                : nullptr;
+    if (nm == nullptr) return;  // new spec is membership-less: nothing to do
+    State& ns = nm->state<State>(g);
+    ns.join_contact = contact;
+    if (nv.contains(self())) {
+      nm->handle_view_install(g, ns, src, bundle);
+    } else {
+      DownEvent knock;
+      knock.type = DownType::kJoin;
+      knock.contact = contact;
+      nm->down(g, knock);
     }
     return;
   }
@@ -746,8 +843,19 @@ void Mbrship::handle_view_install(Group& g, State& st, const Address& src,
     if (!was_in_old) {
       // An install from a foreign lineage (another partition's view chain)
       // that does not include us is not our exclusion -- it is just news
-      // that the other side exists. Propose a merge toward the installer
-      // instead of abandoning our own group.
+      // that the other side exists.
+      if (switching && st.phase == Phase::kNormal) {
+        // The other side already switched stacks. Converge: switch our own
+        // partition to the same spec (aiming at the same epoch number, so
+        // the stamps line up), then the usual merge machinery heals the
+        // partition inside the new epoch.
+        if (stack().endpoint().validate_reconfig(g, rspec)) {
+          request_reconfig(g, st, rspec, repoch);
+        }
+        return;
+      }
+      // Propose a merge toward the installer instead of abandoning our own
+      // group.
       if (st.phase == Phase::kNormal && src != self() && !st.flushing) {
         Writer w;
         g.view().encode(w);
@@ -764,6 +872,44 @@ void Mbrship::handle_view_install(Group& g, State& st, const Address& src,
     UpEvent ex;
     ex.type = UpType::kExit;
     pass_up(g, ex);
+    return;
+  }
+
+  if (switching) {
+    // The flush drained the old epoch: every survivor delivered the same
+    // old-view message set (just replayed above). Hand the group over to
+    // the new stack; this state becomes a draining shadow. State that must
+    // survive (deferred casts, the install bundle) crosses via
+    // export_state/import_state during complete_reconfig.
+    bool flush_done = st.flushing;
+    st.flushing = false;
+    st.replied = false;
+    st.attempt = 0;
+    st.failed.clear();
+    st.leaving.clear();
+    st.joiners.clear();
+    st.reply_waiting.clear();
+    st.reply_delivered.clear();
+    st.collected.clear();
+    st.awaiting_app_flush_ok = false;
+    st.merge_pending = false;
+    st.pending_spec.clear();
+    st.pending_epoch_floor = 0;
+    st.superseded = true;
+    st.last_install.assign(bundle.begin(), bundle.end());
+    stack().cancel(st.gossip_timer);
+    st.gossip_timer = 0;
+    stack().cancel(st.watchdog_timer);
+    st.watchdog_timer = 0;
+    stack().cancel(st.join_timer);
+    st.join_timer = 0;
+    ReconfigInstall inst;
+    inst.view = nv;
+    inst.epoch = static_cast<std::uint32_t>(repoch);
+    inst.coordinated = true;
+    inst.completed_flush = flush_done;
+    inst.blocked = blocked;
+    stack().endpoint().complete_reconfig(g, rspec, inst.epoch, inst);
     return;
   }
 
@@ -923,6 +1069,102 @@ void Mbrship::send_gossip(Group& g, State& st) {
   pass_down(g, out);
 }
 
+// ---------------------------------------------------------------------------
+// Live reconfiguration
+// ---------------------------------------------------------------------------
+
+void Mbrship::request_reconfig(Group& g, State& st, const std::string& spec,
+                               std::uint64_t epoch_floor) {
+  if (st.phase != Phase::kNormal || st.superseded) return;
+  if (i_am_coordinator(g, st)) {
+    st.pending_spec = spec;
+    st.pending_epoch_floor = std::max(st.pending_epoch_floor, epoch_floor);
+    // The switch rides a flush: a running one (its install picks up the
+    // pending spec when it builds the bundle) or a fresh barrier flush.
+    if (!st.flushing) start_flush(g, st);
+    return;
+  }
+  Writer w;
+  w.str(spec);
+  w.varint(epoch_floor);
+  send_oob(g, kReconfigReq, coordinator(g, st), w.data());
+}
+
+void Mbrship::answer_superseded(Group& g, State& st, const Address& src,
+                                std::uint64_t kind) {
+  (void)kind;
+  // A peer still speaking this retired epoch wants protocol progress (a
+  // join, merge, flush or gossip). The stored install bundle carries the
+  // reconfiguration tail, so resyncing them also tells them to switch.
+  if (src == self() || !src.valid()) return;
+  if (!st.last_install.empty()) send_oob(g, kResync, src, st.last_install);
+}
+
+void Mbrship::export_state(Group& g, Writer& w) {
+  State& st = state<State>(g);
+  w.varint(st.deferred_casts.size());
+  for (const Message& m : st.deferred_casts) CapturedMsg::capture(m).encode(w);
+  w.bytes(st.last_install);
+  w.boolean(st.blocked);
+  st.last_primary.encode(w);
+}
+
+void Mbrship::import_state(Group& g, Reader& r) {
+  State& st = state<State>(g);
+  std::uint64_t n = r.varint();
+  if (n > 100'000) throw DecodeError("too many deferred casts");
+  st.deferred_casts.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    CapturedMsg c = CapturedMsg::decode(r);
+    st.deferred_casts.push_back(c.to_tx());
+  }
+  st.last_install = r.bytes();
+  st.blocked = r.boolean();
+  st.last_primary = View::decode(r);
+}
+
+void Mbrship::on_reconfig_install(Group& g, const ReconfigInstall& inst) {
+  State& st = state<State>(g);
+  st.phase = Phase::kNormal;
+  st.my_vseq = 0;
+  st.delivered.clear();
+  for (const Address& m : inst.view.members()) st.delivered[m] = 0;
+  st.blocked = inst.blocked;
+  if (!st.blocked) st.last_primary = inst.view;
+  // st.last_install was imported from the old epoch: it is the very bundle
+  // that announced this switch, so resyncs answered from here re-point
+  // laggards at this epoch too.
+
+  // Tell the fresh layers below (NAK seeds per-peer state for the view).
+  DownEvent dv;
+  dv.type = DownType::kView;
+  dv.view = inst.view;
+  pass_down(g, dv);
+
+  UpEvent uv;
+  uv.type = UpType::kView;
+  uv.view = inst.view;
+  pass_up(g, uv);
+  if (inst.completed_flush) {
+    UpEvent done;
+    done.type = UpType::kFlushOk;
+    pass_up(g, done);
+  }
+  arm_gossip(g, st);
+
+  // App casts deferred during the switch go out in the new epoch.
+  if (!st.blocked) {
+    std::vector<Message> deferred = std::move(st.deferred_casts);
+    st.deferred_casts.clear();
+    for (Message& m : deferred) {
+      DownEvent ev;
+      ev.type = DownType::kCast;
+      ev.msg = std::move(m);
+      handle_cast_down(g, st, ev);
+    }
+  }
+}
+
 void Mbrship::dump(Group& g, std::string& out) const {
   State& st = state<State>(const_cast<Group&>(g));
   const char* phase = st.phase == Phase::kNormal
@@ -936,6 +1178,7 @@ void Mbrship::dump(Group& g, std::string& out) const {
          " log=" + std::to_string(log_entries) +
          " flushing=" + std::to_string(st.flushing) +
          " blocked=" + std::to_string(st.blocked) +
+         " superseded=" + std::to_string(st.superseded) +
          " flushes=" + std::to_string(st.flushes_completed) + "\n";
 }
 

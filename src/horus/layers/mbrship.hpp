@@ -40,6 +40,13 @@ class Mbrship final : public Layer {
   void up(Group& g, UpEvent& ev) override;
   void dump(Group& g, std::string& out) const override;
 
+  // Live reconfiguration (HCPI state-transfer hooks): MBRSHIP survives a
+  // switch in place -- its view, delivery vectors and deferred casts carry
+  // over to the same-named layer of the new epoch.
+  void export_state(Group& g, Writer& w) override;
+  void import_state(Group& g, Reader& r) override;
+  void on_reconfig_install(Group& g, const ReconfigInstall& inst) override;
+
  private:
   // Header kinds.
   static constexpr std::uint64_t kData = 0;        ///< view-scoped app cast
@@ -54,6 +61,7 @@ class Mbrship final : public Layer {
   static constexpr std::uint64_t kResync = 9;      ///< reply to stale flush
   static constexpr std::uint64_t kFailReport = 10; ///< suspicion -> coordinator
   static constexpr std::uint64_t kMergeDeniedCtl = 11; ///< coordinator said no
+  static constexpr std::uint64_t kReconfigReq = 12; ///< member asks for a stack switch
 
   enum class Phase { kJoining, kNormal, kLeft };
 
@@ -107,6 +115,16 @@ class Mbrship final : public Layer {
     /// Merges force the successor view's seq above the absorbed view's.
     std::uint64_t view_seq_floor = 0;
     Address join_contact;
+    /// Live reconfiguration: target spec the next view install carries (set
+    /// on the coordinator; rides the flush currently running or started for
+    /// it). Empty = plain view change.
+    std::string pending_spec;
+    /// Epoch floor a requester asked for (merges of already-switched views).
+    std::uint64_t pending_epoch_floor = 0;
+    /// This state belongs to a retired (shadow) epoch: the group switched
+    /// stacks and a newer epoch owns the protocol now. The shadow only
+    /// drains stragglers and answers resyncs; it never installs views.
+    bool superseded = false;
     sim::TimerId gossip_timer = 0;
     sim::TimerId watchdog_timer = 0;
     sim::TimerId join_timer = 0;
@@ -133,6 +151,10 @@ class Mbrship final : public Layer {
   void handle_flush_reply(Group& g, State& st, const Address& src, Reader r);
   void handle_view_install(Group& g, State& st, const Address& src,
                            ByteSpan bundle);
+  void request_reconfig(Group& g, State& st, const std::string& spec,
+                        std::uint64_t epoch_floor);
+  void answer_superseded(Group& g, State& st, const Address& src,
+                         std::uint64_t kind);
   void suspect(Group& g, State& st, const Address& who);
   void handle_fail_report(Group& g, State& st, const Address& src,
                           std::uint64_t view_seq, Reader r);

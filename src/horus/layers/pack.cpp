@@ -56,7 +56,7 @@ std::size_t Pack::lower_overhead() const {
   // prefix, the CRC trailer, and (classic codec) the lower layers'
   // word-aligned fields. A deliberate underestimate in compact mode, where
   // the shared region is counted at zero.
-  std::size_t n = Stack::kGidPrefix + 4;
+  std::size_t n = Stack::kFramePrefix + 4;
   const auto& ls = stack().layers();
   for (std::size_t i = index() + 1; i < ls.size(); ++i) {
     for (const FieldSpec& f : ls[i]->info().fields) n += f.bits <= 32 ? 4 : 8;

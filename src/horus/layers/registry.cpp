@@ -11,6 +11,7 @@
 #include "horus/layers/frag.hpp"
 #include "horus/layers/fused.hpp"
 #include "horus/layers/mbrship.hpp"
+#include "horus/layers/mcast.hpp"
 #include "horus/layers/merge.hpp"
 #include "horus/layers/nak.hpp"
 #include "horus/layers/nfrag.hpp"
@@ -104,6 +105,7 @@ const std::vector<std::pair<std::string, Factory>>& registry() {
       {"RAWCOM", [] { return std::make_unique<Com>(false); }},
       {"NAK", [] { return std::make_unique<Nak>(); }},
       {"NNAK", [] { return std::make_unique<Nnak>(); }},
+      {"MCAST", [] { return std::make_unique<Mcast>(); }},
       {"FRAG", [] { return std::make_unique<Frag>(); }},
       {"PACK", [] { return std::make_unique<Pack>(); }},
       {"NFRAG", [] { return std::make_unique<Nfrag>(); }},

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "horus/util/log.hpp"
+
 namespace horus::layers {
 namespace {
 
@@ -57,6 +59,8 @@ void Total::drain_token(Group& g, State& st) {
   while (!st.pending.empty()) {
     Message m = std::move(st.pending.front());
     st.pending.erase(st.pending.begin());
+    HLOG_TRACE("TOTAL") << stack().address().id << " stamp gseq="
+                        << st.next_stamp;
     std::uint64_t fields[] = {kOrdered, st.next_stamp++};
     stack().push_header(m, *this, fields);
     DownEvent out;
@@ -117,12 +121,22 @@ void Total::up(Group& g, UpEvent& ev) {
       std::uint64_t kind = h.fields[0];
       std::uint64_t gseq = h.fields[1];
       switch (kind) {
-        case kOrdered:
-          st.ordered.emplace(
-              gseq, Buffered{ev.source, ev.msg_id, std::move(ev.msg)});
+        case kOrdered: {
+          bool fresh =
+              st.ordered
+                  .emplace(gseq,
+                           Buffered{ev.source, ev.msg_id, std::move(ev.msg)})
+                  .second;
+          HLOG_TRACE("TOTAL")
+              << stack().address().id << " recv gseq=" << gseq << " from "
+              << ev.source.id << (fresh ? "" : " DUPLICATE-STAMP")
+              << " next_deliver=" << st.next_deliver;
           deliver_in_order(g, st);
           return;
+        }
         case kUnordered:
+          HLOG_TRACE("TOTAL") << stack().address().id << " recv unordered from "
+                              << ev.source.id;
           st.unordered.emplace_back(
               ev.source, Buffered{ev.source, ev.msg_id, std::move(ev.msg)});
           return;
@@ -132,6 +146,14 @@ void Total::up(Group& g, UpEvent& ev) {
             std::uint64_t vseq = r.varint();
             std::uint64_t stamp = r.varint();
             if (vseq < g.view().id().seq) return;  // stale token: let it die
+            if (vseq == g.view().id().seq && st.in_flush) {
+              // This view already flushed: its token is dead. Claiming it
+              // would stamp post-flush casts with gseqs the survivors can
+              // never deliver after the install resets the sequence.
+              HLOG_TRACE("TOTAL") << stack().address().id
+                                  << " drop dead token vseq=" << vseq;
+              return;
+            }
             if (vseq > g.view().id().seq) {
               // Token for a view we have not installed yet (its first
               // holder installed before us): hold it, claim it at install.
@@ -162,6 +184,8 @@ void Total::up(Group& g, UpEvent& ev) {
       // receivers and delivered in deterministic order at the view change.
       std::vector<Message> pend = std::move(st.pending);
       st.pending.clear();
+      HLOG_TRACE("TOTAL") << stack().address().id << " flush: recast "
+                          << pend.size() << " pending as unordered";
       for (Message& m : pend) {
         std::uint64_t fields[] = {kUnordered, 0};
         stack().push_header(m, *this, fields);
@@ -171,6 +195,7 @@ void Total::up(Group& g, UpEvent& ev) {
         pass_down(g, out);
       }
       st.have_token = false;  // the old token is dead either way
+      st.in_flush = true;
       pass_up(g, ev);
       return;
     }
@@ -201,6 +226,11 @@ void Total::deliver_in_order(Group& g, State& st) {
 }
 
 void Total::on_view(Group& g, State& st, UpEvent& ev) {
+  HLOG_TRACE("TOTAL") << stack().address().id << " view "
+                      << ev.view.id().seq << ": deliver ordered="
+                      << st.ordered.size() << " unordered="
+                      << st.unordered.size() << " pending="
+                      << st.pending.size();
   // 1. Remaining stamped messages: all survivors hold the same set (virtual
   //    synchrony), so delivering in gseq order -- skipping gaps, which are
   //    identical everywhere -- is deterministic.
@@ -234,6 +264,7 @@ void Total::on_view(Group& g, State& st, UpEvent& ev) {
   //    holder in this view is (e.g., the lowest ranked member)".
   st.next_stamp = 1;
   st.next_deliver = 1;
+  st.in_flush = false;
   st.have_token = ev.view.rank_of(stack().address()) == 0u;
   if (st.pending_token_view == ev.view.id().seq) {
     // The new view's token already reached us before the install did.
@@ -251,6 +282,59 @@ void Total::on_view(Group& g, State& st, UpEvent& ev) {
     } else {
       schedule_idle_pass(g, st);
     }
+  }
+}
+
+void Total::export_state(Group& g, Writer& w) {
+  State& st = state<State>(g);
+  w.varint(st.ordered.size());
+  for (auto& [gseq, b] : st.ordered) {
+    w.varint(gseq);
+    w.varint(b.source.id);
+    w.varint(b.msg_id);
+    CapturedMsg::capture(b.msg).encode(w);
+  }
+  w.varint(st.unordered.size());
+  for (auto& [src, b] : st.unordered) {
+    w.varint(src.id);
+    w.varint(b.source.id);
+    w.varint(b.msg_id);
+    CapturedMsg::capture(b.msg).encode(w);
+  }
+  w.varint(st.pending.size());
+  for (const Message& m : st.pending) CapturedMsg::capture(m).encode(w);
+}
+
+void Total::import_state(Group& g, Reader& r) {
+  // The install-time kView upcall (from the membership layer, right after
+  // this import) delivers ordered + unordered and re-seeds the token, so
+  // no counters transfer: on_view resets them.
+  constexpr std::uint64_t kSane = 100'000;
+  State& st = state<State>(g);
+  std::uint64_t n = r.varint();
+  if (n > kSane) throw DecodeError("TOTAL state: ordered count");
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint64_t gseq = r.varint();
+    Buffered b;
+    b.source = Address{r.varint()};
+    b.msg_id = r.varint();
+    b.msg = CapturedMsg::decode(r).to_rx();
+    st.ordered.emplace(gseq, std::move(b));
+  }
+  n = r.varint();
+  if (n > kSane) throw DecodeError("TOTAL state: unordered count");
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Address key{r.varint()};
+    Buffered b;
+    b.source = Address{r.varint()};
+    b.msg_id = r.varint();
+    b.msg = CapturedMsg::decode(r).to_rx();
+    st.unordered.emplace_back(key, std::move(b));
+  }
+  n = r.varint();
+  if (n > kSane) throw DecodeError("TOTAL state: pending count");
+  for (std::uint64_t i = 0; i < n; ++i) {
+    st.pending.push_back(CapturedMsg::decode(r).to_tx());
   }
 }
 

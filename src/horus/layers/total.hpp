@@ -36,6 +36,14 @@ class Total final : public Layer {
   void up(Group& g, UpEvent& ev) override;
   void dump(Group& g, std::string& out) const override;
 
+  /// Live-switch state transfer: the buffers a normal view change would
+  /// have drained (stamped messages awaiting order, flush-window casts,
+  /// casts awaiting the token) cross into the new epoch, where the
+  /// install-time view upcall delivers them by the usual deterministic
+  /// view-change rules.
+  void export_state(Group& g, Writer& w) override;
+  void import_state(Group& g, Reader& r) override;
+
  private:
   static constexpr std::uint64_t kOrdered = 0;  ///< token-stamped cast
   static constexpr std::uint64_t kUnordered = 1; ///< flush-window cast
@@ -50,6 +58,10 @@ class Total final : public Layer {
 
   struct State final : LayerState {
     bool have_token = false;
+    /// Set between the flush upcall and the next install: the old view's
+    /// token is dead, and a late kToken for it must not revive stamping
+    /// (a post-flush stamp would leak a stale gseq into the next view).
+    bool in_flush = false;
     std::uint64_t next_stamp = 1;    ///< next global seq to assign (holder)
     std::uint64_t next_deliver = 1;  ///< next global seq to deliver
     std::map<std::uint64_t, Buffered> ordered;  ///< received, awaiting order

@@ -45,6 +45,31 @@ std::optional<PropertySet> derive(const std::vector<LayerSpec>& layers,
   return c.result;
 }
 
+TransitionCheck check_transition(const std::vector<LayerSpec>& old_layers,
+                                 const std::vector<LayerSpec>& new_layers,
+                                 PropertySet network, PropertySet required) {
+  TransitionCheck out;
+  StackCheck oldc = check_stack(old_layers, network);
+  StackCheck newc = check_stack(new_layers, network);
+  out.old_provided = oldc.well_formed ? oldc.result : 0;
+  if (!newc.well_formed) {
+    out.error = "target stack is ill-formed: " + newc.error;
+    return out;
+  }
+  out.new_provided = newc.result;
+  out.lost = out.old_provided & ~out.new_provided;
+  out.gained = out.new_provided & ~out.old_provided;
+  out.missing = required & ~out.new_provided;
+  if (out.missing != 0) {
+    out.error = "transition drops required " + to_string(out.missing) +
+                " (old stack provides " + to_string(out.old_provided) +
+                ", new stack provides " + to_string(out.new_provided) + ")";
+    return out;
+  }
+  out.legal = true;
+  return out;
+}
+
 StackSearchResult find_minimal_stack(const std::vector<LayerSpec>& library,
                                      PropertySet network, PropertySet required,
                                      int max_depth) {

@@ -50,6 +50,31 @@ StackCheck check_stack(const std::vector<LayerSpec>& layers, PropertySet network
 std::optional<PropertySet> derive(const std::vector<LayerSpec>& layers,
                                   PropertySet network);
 
+/// Outcome of checking a live reconfiguration (stack switch) for legality.
+/// A transition OLD -> NEW for a group whose application requires
+/// `required` is legal iff NEW is well-formed over the same network and
+/// NEW's provided set still covers `required`. NEW may provide *more* than
+/// OLD (gained) and may drop properties the application never asked for
+/// (lost ∖ required), but dropping a required property is a hard error.
+struct TransitionCheck {
+  bool legal = false;
+  PropertySet old_provided = 0;  ///< what the old stack delivers (0 if ill-formed)
+  PropertySet new_provided = 0;  ///< what the new stack delivers (0 if ill-formed)
+  PropertySet lost = 0;          ///< old_provided ∖ new_provided
+  PropertySet gained = 0;        ///< new_provided ∖ old_provided
+  PropertySet missing = 0;       ///< required ∖ new_provided (nonzero => illegal)
+  std::string error;             ///< human-readable diagnosis when illegal
+};
+
+/// Check whether switching a group from `old_layers` to `new_layers`
+/// (both TOP to BOTTOM) over `network` is legal for an application that
+/// requires `required`. If the old stack is ill-formed its provided set is
+/// treated as empty (the delta is still reported); if the new stack is
+/// ill-formed the transition is illegal outright.
+TransitionCheck check_transition(const std::vector<LayerSpec>& old_layers,
+                                 const std::vector<LayerSpec>& new_layers,
+                                 PropertySet network, PropertySet required);
+
 /// Result of the minimal-stack search.
 struct StackSearchResult {
   bool found = false;

@@ -33,6 +33,15 @@ struct MsgPathStats {
   std::atomic<std::uint64_t> batch_descents{0};     ///< down_batch stack traversals
   std::atomic<std::uint64_t> batched_events{0};     ///< events carried by those batches
 
+  // Live reconfiguration (epoch-versioned stacks).
+  std::atomic<std::uint64_t> reconfigs_requested{0};  ///< reconfigure() accepted
+  std::atomic<std::uint64_t> reconfigs_completed{0};  ///< new epoch installed
+  std::atomic<std::uint64_t> reconfigs_rejected{0};   ///< failed the transition check
+  std::atomic<std::uint64_t> stale_epoch_drops{0};    ///< datagram for a retired epoch
+  std::atomic<std::uint64_t> shadow_datagrams{0};     ///< old-epoch stragglers drained
+  std::atomic<std::uint64_t> shadows_retired{0};      ///< drained epochs freed
+  std::atomic<std::uint64_t> state_transfers{0};      ///< layer export/import pairs run
+
   void reset() {
     pool_hits = pool_misses = oversize = headroom_growths = 0;
     unshare_copies = wire_fastpath = wire_gather = writer_spills = 0;
@@ -40,6 +49,9 @@ struct MsgPathStats {
     packs_built = casts_packed = flushes_by_size = flushes_by_count = 0;
     flushes_by_timer = packed_bytes_saved = trains_unpacked = 0;
     casts_unpacked = corrupt_trains = batch_descents = batched_events = 0;
+    reconfigs_requested = reconfigs_completed = reconfigs_rejected = 0;
+    stale_epoch_drops = shadow_datagrams = shadows_retired = 0;
+    state_transfers = 0;
   }
 };
 

@@ -188,6 +188,84 @@ TEST(Lint, FlagsDeadGuaranteeMaskedByLayerAbove) {
   EXPECT_EQ(find_rule(quiet, "dead-guarantee"), nullptr) << quiet.to_string();
 }
 
+// -- live-switch transition check (horus-lint --diff) -------------------------
+
+std::vector<props::LayerSpec> rows(const std::string& spec) {
+  std::vector<props::LayerSpec> out;
+  for (const std::string& name : layers::split_spec(spec)) {
+    out.push_back(layers::layer_spec(name));
+  }
+  return out;
+}
+
+const props::PropertySet kNet = props::make_set({Property::kBestEffort});
+
+TEST(Lint, TransitionLegalWhenRequiredPreserved) {
+  // The acceptance switch NAK -> MCAST:NNAK: every property the old stack
+  // provided survives, and the MCAST transport adds best-effort multicast.
+  auto old_rows = rows("TOTAL:MBRSHIP:FRAG:NAK:COM");
+  auto new_rows = rows("TOTAL:MBRSHIP:FRAG:MCAST:NNAK:COM");
+  props::PropertySet required = props::check_stack(old_rows, kNet).result;
+  props::TransitionCheck tc =
+      props::check_transition(old_rows, new_rows, kNet, required);
+  EXPECT_TRUE(tc.legal) << tc.error;
+  EXPECT_EQ(tc.missing, 0u);
+  EXPECT_EQ(tc.lost, 0u);
+  EXPECT_EQ(tc.gained, props::make_set({Property::kBestEffort}));
+}
+
+TEST(Lint, TransitionMayDropUnrequiredProperties) {
+  // Dropping TOTAL loses P6, but an application that never asked for total
+  // order is allowed to shed it live.
+  auto old_rows = rows("TOTAL:MBRSHIP:FRAG:NAK:COM");
+  auto new_rows = rows("MBRSHIP:FRAG:NAK:COM");
+  props::PropertySet required =
+      props::make_set({Property::kFifoMulticast, Property::kVirtualSync});
+  props::TransitionCheck tc =
+      props::check_transition(old_rows, new_rows, kNet, required);
+  EXPECT_TRUE(tc.legal) << tc.error;
+  EXPECT_EQ(tc.lost, props::make_set({Property::kTotalOrder}));
+  EXPECT_EQ(tc.missing, 0u);
+}
+
+TEST(Lint, TransitionDroppingRequiredPropertyIsIllegal) {
+  auto old_rows = rows("TOTAL:MBRSHIP:FRAG:NAK:COM");
+  auto new_rows = rows("MBRSHIP:FRAG:NAK:COM");
+  // Endpoint::set_required's default: require everything the joined stack
+  // provided, which includes P6.
+  props::PropertySet required = props::check_stack(old_rows, kNet).result;
+  props::TransitionCheck tc =
+      props::check_transition(old_rows, new_rows, kNet, required);
+  EXPECT_FALSE(tc.legal);
+  EXPECT_EQ(tc.missing, props::make_set({Property::kTotalOrder}));
+  // The diagnosis names the dropped set so the operator sees the delta.
+  EXPECT_NE(tc.error.find("drops required"), std::string::npos) << tc.error;
+  EXPECT_NE(tc.error.find("{P6}"), std::string::npos) << tc.error;
+}
+
+TEST(Lint, TransitionToIllFormedStackIsIllegal) {
+  auto old_rows = rows("TOTAL:MBRSHIP:FRAG:NAK:COM");
+  auto new_rows = rows("TOTAL:FRAG:COM");  // FRAG lacks FIFO below it
+  props::TransitionCheck tc = props::check_transition(
+      old_rows, new_rows, kNet, /*required=*/0);
+  EXPECT_FALSE(tc.legal);
+  EXPECT_EQ(tc.new_provided, 0u);
+  EXPECT_NE(tc.error.find("ill-formed"), std::string::npos) << tc.error;
+}
+
+TEST(Lint, TransitionFromIllFormedOldStackReportsFullGain) {
+  // An ill-formed old stack provides nothing; switching to a well-formed
+  // stack is legal (if the requirement is met) and the whole new set is
+  // reported as gained.
+  auto old_rows = rows("TOTAL:FRAG:COM");
+  auto new_rows = rows("TOTAL:MBRSHIP:FRAG:NAK:COM");
+  props::TransitionCheck tc = props::check_transition(
+      old_rows, new_rows, kNet, props::make_set({Property::kTotalOrder}));
+  EXPECT_TRUE(tc.legal) << tc.error;
+  EXPECT_EQ(tc.old_provided, 0u);
+  EXPECT_EQ(tc.gained, tc.new_provided);
+}
+
 // -- runtime wiring: validate_stacks ------------------------------------------
 
 TEST(Lint, EndpointCreationRejectsIllFormedSpecNamingOffender) {

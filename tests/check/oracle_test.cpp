@@ -184,6 +184,74 @@ TEST(CheckOracle, ViewAgreementCrashedMemberExempt) {
   EXPECT_TRUE(evaluate(only(Oracle::kViewAgreement), log).empty());
 }
 
+TEST(CheckOracle, CrossEpochCleanSwitchOk) {
+  // Both members deliver everything, epochs step 0 -> 1 in unison: a
+  // successful live switch has nothing to report, even on a clean run.
+  Obs late_a = cast(1, 0, 1);
+  late_a.epoch = 1;
+  Obs late_b = cast(1, 0, 1);
+  late_b.epoch = 1;
+  RunLog log = two_members({cast(0, 0, 1), std::move(late_a)},
+                           {cast(0, 0, 1), std::move(late_b)});
+  log.sent = {1, 1};
+  log.clean = true;
+  EXPECT_TRUE(evaluate(only(Oracle::kCrossEpoch), log).empty());
+}
+
+TEST(CheckOracle, CrossEpochRegressionCaught) {
+  Obs newer = cast(0, 0, 1);
+  newer.epoch = 1;
+  Obs older = cast(1, 0, 1);
+  older.epoch = 0;  // the stack went back to a retired epoch
+  RunLog log = two_members({std::move(newer), std::move(older)}, {});
+  log.sent = {1, 1};
+  auto v = evaluate(only(Oracle::kCrossEpoch), log);
+  ASSERT_GE(v.size(), 1u);
+  EXPECT_EQ(v[0].oracle, Oracle::kCrossEpoch);
+  EXPECT_NE(v[0].detail.find("backwards"), std::string::npos);
+}
+
+TEST(CheckOracle, CrossEpochPerSenderReorderCaught) {
+  // Member 1 delivers m0's round-1 cast before its round-0 cast: the
+  // switch reordered (or re-delivered) the sender's stream.
+  RunLog log = two_members({}, {cast(0, 1, 1), cast(0, 0, 1)});
+  auto v = evaluate(only(Oracle::kCrossEpoch), log);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].member, 1u);
+  EXPECT_NE(v[0].detail.find("reordered"), std::string::npos);
+}
+
+TEST(CheckOracle, CrossEpochFinalEpochDisagreementCaught) {
+  Obs switched = cast(0, 0, 1);
+  switched.epoch = 1;
+  RunLog log = two_members({std::move(switched)}, {cast(0, 0, 1)});
+  log.sent = {1, 0};
+  auto v = evaluate(only(Oracle::kCrossEpoch), log);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].detail.find("final stack epoch"), std::string::npos);
+}
+
+TEST(CheckOracle, CrossEpochLossOnCleanRunCaught) {
+  RunLog log = two_members({cast(0, 0, 1)}, {});
+  log.sent = {1, 0};
+  log.clean = true;  // no crash/partition in the plan: nothing may be lost
+  auto v = evaluate(only(Oracle::kCrossEpoch), log);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].member, 1u);
+  EXPECT_NE(v[0].detail.find("lost"), std::string::npos);
+  // The same log under faults is inconclusive: a crashed sender's casts
+  // may legitimately never arrive.
+  log.clean = false;
+  EXPECT_TRUE(evaluate(only(Oracle::kCrossEpoch), log).empty());
+}
+
+TEST(CheckOracle, LogHashCoversEpochs) {
+  RunLog a = two_members({cast(0, 0, 1)}, {});
+  RunLog b = two_members({cast(0, 0, 1)}, {});
+  b.members[0].obs[1].epoch = 1;
+  EXPECT_NE(log_hash(a), log_hash(b));
+}
+
 TEST(CheckOracle, LogHashIsOrderSensitive) {
   RunLog a = two_members({cast(0, 0, 1), cast(1, 0, 1)}, {});
   RunLog b = two_members({cast(1, 0, 1), cast(0, 0, 1)}, {});

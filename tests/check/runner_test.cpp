@@ -115,6 +115,42 @@ INSTANTIATE_TEST_SUITE_P(
         BrokenCase{"MBRSHIP:FRAG:NAK!:COM", Oracle::kNoDupNoCreation},
         BrokenCase{"MBRSHIP!:FRAG:NAK:COM", Oracle::kViewAgreement}));
 
+TEST(CheckRunner, LiveSwitchScenarioPassesAndBumpsEpoch) {
+  Scenario s = small("TOTAL:MBRSHIP:FRAG:NAK:COM");
+  s.switch_spec = "TOTAL:MBRSHIP:FRAG:MCAST:NNAK:COM";
+  s.crashes = 0;
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    RunOptions o;
+    o.keep_log = true;
+    RunResult r = run_scenario(s, seed, o);
+    // The switch oracle is forced on whenever the plan carries a switch.
+    EXPECT_NE(r.oracles & static_cast<OracleSet>(Oracle::kCrossEpoch), 0u);
+    EXPECT_TRUE(r.ok()) << "seed " << seed << ", first: "
+                        << (r.violations.empty()
+                                ? ""
+                                : r.violations[0].to_string());
+    // Every member actually crossed into epoch 1 -- the switch really ran,
+    // it was not silently rejected.
+    for (const RunLog::Member& m : r.log.members) {
+      std::uint32_t max_epoch = 0;
+      for (const Obs& ob : m.obs) max_epoch = std::max(max_epoch, ob.epoch);
+      EXPECT_EQ(max_epoch, 1u)
+          << "seed " << seed << " member " << m.index;
+    }
+  }
+}
+
+TEST(CheckRunner, LiveSwitchReplaysBitIdentically) {
+  Scenario s = small("TOTAL:MBRSHIP:FRAG:NAK:COM");
+  s.switch_spec = "TOTAL:MBRSHIP:FRAG:NAK:COMPRESS:COM";
+  s.crashes = 0;
+  RunResult a = run_scenario(s, 9);
+  RunResult b = run_scenario(s, 9);
+  EXPECT_EQ(a.event_hash, b.event_hash);
+  EXPECT_EQ(a.dispatch_hash, b.dispatch_hash);
+  EXPECT_TRUE(a.ok());
+}
+
 TEST(CheckRunner, ExplicitOraclesOverrideAuto) {
   Scenario s = small("MBRSHIP:FRAG:NAK:COM");
   s.oracles = parse_oracles("view-agreement");

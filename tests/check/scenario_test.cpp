@@ -20,7 +20,7 @@ TEST(CheckScenario, OracleParsing) {
 }
 
 TEST(CheckScenario, EveryOracleNameParsesBack) {
-  for (std::uint32_t bit = 0; bit < 6; ++bit) {
+  for (std::uint32_t bit = 0; bit < 7; ++bit) {
     auto o = static_cast<Oracle>(1u << bit);
     EXPECT_EQ(parse_oracles(oracle_name(o)), static_cast<OracleSet>(o))
         << oracle_name(o);
@@ -111,6 +111,9 @@ TEST(CheckScenario, PlanRespectsBudgetsAndOrdering) {
         case FaultEvent::Kind::kHeal:
           ++heals;
           break;
+        case FaultEvent::Kind::kSwitch:
+          ADD_FAILURE() << "no switch_spec, so no switch event";
+          break;
       }
     }
     EXPECT_EQ(crashes, s.crashes);
@@ -127,6 +130,7 @@ TEST(CheckScenario, PlanJsonRoundTrip) {
   Scenario s;
   s.crashes = 1;
   s.partitions = 1;
+  s.switch_spec = "TOTAL:MBRSHIP:FRAG:MCAST:NNAK:COM";
   Plan p = derive_plan(s, 7);
   Plan back = plan_from_json(Json::parse(plan_to_json(p).dump()));
   ASSERT_EQ(back.size(), p.size());
@@ -135,7 +139,53 @@ TEST(CheckScenario, PlanJsonRoundTrip) {
     EXPECT_EQ(back[i].at, p[i].at);
     EXPECT_EQ(back[i].member, p[i].member);
     EXPECT_EQ(back[i].cell, p[i].cell);
+    EXPECT_EQ(back[i].spec, p[i].spec);
   }
+}
+
+TEST(CheckScenario, SwitchSpecAddsOneSwitchEvent) {
+  Scenario s;
+  s.crashes = 1;
+  s.switch_spec = "TOTAL:MBRSHIP:FRAG:MCAST:NNAK:COM";
+  const sim::Duration window =
+      static_cast<sim::Duration>(s.rounds) * s.round_gap;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Plan p = derive_plan(s, seed);
+    int switches = 0;
+    for (const FaultEvent& e : p) {
+      if (e.kind != FaultEvent::Kind::kSwitch) continue;
+      ++switches;
+      EXPECT_EQ(e.spec, s.switch_spec);
+      // Seed-derived time lands inside the middle half of the workload.
+      EXPECT_GE(e.at, window / 4);
+      EXPECT_LT(e.at, window);
+    }
+    EXPECT_EQ(switches, 1) << "seed " << seed;
+  }
+  // A pinned offset is taken verbatim, not derived.
+  s.switch_at = 123 * sim::kMillisecond;
+  Plan pinned = derive_plan(s, 5);
+  auto it = std::find_if(pinned.begin(), pinned.end(), [](const FaultEvent& e) {
+    return e.kind == FaultEvent::Kind::kSwitch;
+  });
+  ASSERT_NE(it, pinned.end());
+  EXPECT_EQ(it->at, 123 * sim::kMillisecond);
+}
+
+TEST(CheckScenario, SwitchScenarioJsonRoundTrip) {
+  Scenario s;
+  s.switch_spec = "TOTAL:MBRSHIP:FRAG:NAK:COMPRESS:COM";
+  s.switch_at = 250 * sim::kMillisecond;
+  Scenario back = Scenario::from_json(Json::parse(s.to_json().dump()));
+  EXPECT_EQ(back.switch_spec, s.switch_spec);
+  EXPECT_EQ(back.switch_at, s.switch_at);
+  // Pre-reconfiguration artifacts (no switch keys) still load.
+  Scenario plain;
+  Json j = plain.to_json();
+  EXPECT_EQ(j.find("switch_spec"), nullptr);
+  Scenario old = Scenario::from_json(Json::parse(j.dump()));
+  EXPECT_TRUE(old.switch_spec.empty());
+  EXPECT_EQ(old.switch_at, 0u);
 }
 
 }  // namespace

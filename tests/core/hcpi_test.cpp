@@ -11,15 +11,16 @@ namespace horus {
 namespace {
 
 TEST(Hcpi, Table1DowncallsComplete) {
-  // The fifteen downcalls of Table 1.
+  // The fifteen downcalls of Table 1, plus the live-reconfiguration
+  // extension (docs/reconfig.md): switch the group's stack at run time.
   const auto& all = all_downcalls();
-  EXPECT_EQ(all.size(), 15u);
+  EXPECT_EQ(all.size(), 16u);
   std::set<std::string> names;
   for (DownType t : all) names.insert(to_string(t));
   for (const char* expected :
        {"endpoint-implied", "join", "merge", "merge_denied", "merge_granted",
         "view", "cast", "send", "ack", "stable", "leave", "flush", "flush_ok",
-        "destroy", "focus", "dump"}) {
+        "destroy", "focus", "dump", "reconfig"}) {
     if (std::string(expected) == "endpoint-implied") continue;  // ctor, not enum
     EXPECT_TRUE(names.contains(expected)) << expected;
   }

@@ -233,16 +233,20 @@ TEST(MessageLinear, FinalizeMatchesLegacyToWire) {
   build(lin);
   EXPECT_EQ(lin.to_wire(kRegion), want);  // gather from linear form agrees
 
-  MutByteSpan frame = lin.finalize_wire(0x1122334455667788ull, kRegion, 2);
+  MutByteSpan frame = lin.finalize_wire(0x1122334455667788ull, kRegion, 2,
+                                        /*epoch_stamp=*/0x0a0b);
   ASSERT_NE(frame.data(), nullptr);
-  ASSERT_EQ(frame.size(), 8 + want.size() + 2);
+  ASSERT_EQ(frame.size(), 10 + want.size() + 2);
   EXPECT_EQ(frame[0], 0x88);  // gid little-endian
   EXPECT_EQ(frame[7], 0x11);
-  EXPECT_EQ(Bytes(frame.begin() + 8, frame.end() - 2), want);
+  EXPECT_EQ(frame[8], 0x0b);  // stack-epoch stamp little-endian
+  EXPECT_EQ(frame[9], 0x0a);
+  EXPECT_EQ(Bytes(frame.begin() + 10, frame.end() - 2), want);
 
   // finalize_wire is repeatable (retransmission) and leaves content intact.
-  MutByteSpan again = lin.finalize_wire(0x1122334455667788ull, kRegion, 2);
-  EXPECT_EQ(Bytes(again.begin() + 8, again.end() - 2), want);
+  MutByteSpan again = lin.finalize_wire(0x1122334455667788ull, kRegion, 2,
+                                        /*epoch_stamp=*/0x0a0b);
+  EXPECT_EQ(Bytes(again.begin() + 10, again.end() - 2), want);
   EXPECT_EQ(lin.payload_string(), "payload");
 }
 
@@ -331,8 +335,9 @@ TEST(MessageLinear, MakeLinearRoundTrip) {
   ASSERT_NE(frame.data(), nullptr);
   Message rx = Message::from_wire(ByteSpan(frame), 0);
   Reader r = rx.reader();
-  EXPECT_EQ(r.u64(), 7u);  // gid prefix
-  rx.consume(8);
+  EXPECT_EQ(r.u64(), 7u);   // gid prefix
+  EXPECT_EQ(r.u16(), 0u);   // default stack-epoch stamp
+  rx.consume(10);
   Reader r2 = rx.reader();
   EXPECT_EQ(to_string(r2.raw(3)), "hdr");
   rx.consume(3);

@@ -13,6 +13,10 @@
 //   --members=N --rounds=N --casts=N      workload shape (4 / 8 / 1)
 //   --loss=F --dup=F --corrupt=F          network fault rates
 //   --crashes=N --partitions=N            scenario-level fault budget (1 / 0)
+//   --switch-spec=SPEC  live-reconfigure the group to SPEC mid-workload
+//                       (enables the cross-epoch oracle)
+//   --switch-at-ms=N    pin the switch offset; default 0 derives a
+//                       seed-dependent time inside the workload window
 //   --oracles=LIST      comma-separated oracle names, or auto (default), all
 //
 // Exploration options:
@@ -48,6 +52,7 @@ int usage() {
                "                   [--members=N] [--rounds=N] [--casts=N]\n"
                "                   [--loss=F] [--dup=F] [--corrupt=F]\n"
                "                   [--crashes=N] [--partitions=N]\n"
+               "                   [--switch-spec=SPEC] [--switch-at-ms=N]\n"
                "                   [--oracles=LIST|auto|all] [--no-shrink]\n"
                "                   [--shrink-budget=N] [--repro=PATH] "
                "[--quiet]\n"
@@ -238,6 +243,12 @@ int main(int argc, char** argv) {
       if (!parse_int(val("--crashes="), scn.crashes)) return usage();
     } else if (arg.rfind("--partitions=", 0) == 0) {
       if (!parse_int(val("--partitions="), scn.partitions)) return usage();
+    } else if (arg.rfind("--switch-spec=", 0) == 0) {
+      scn.switch_spec = val("--switch-spec=");
+    } else if (arg.rfind("--switch-at-ms=", 0) == 0) {
+      std::uint64_t ms = 0;
+      if (!parse_u64(val("--switch-at-ms="), ms)) return usage();
+      scn.switch_at = ms * horus::sim::kMillisecond;
     } else if (arg.rfind("--oracles=", 0) == 0) {
       try {
         scn.oracles = parse_oracles(val("--oracles="));
