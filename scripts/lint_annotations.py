@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Convert `horus-lint --json` output into GitHub Actions annotations.
+
+Usage:
+    horus-lint --json SPEC... | python3 scripts/lint_annotations.py [--file F]
+
+Reads one JSON array of lint reports (LintReport::to_json) on stdin and
+prints one `::error` / `::warning` workflow command per finding, so lint
+findings show up inline on the PR. `--file F` attaches the annotations to a
+file path (e.g. the spec sweep's source file); without it they are bare
+annotations on the run.
+
+Exit status: 1 if any finding has severity "error", else 0 (warnings do not
+fail the job here; pass --werror to horus-lint if they should).
+"""
+import argparse
+import json
+import sys
+
+
+def esc(msg: str) -> str:
+    """Escape a workflow-command message (the %/CR/LF triple GitHub needs)."""
+    return msg.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--file", default="", help="file path to annotate")
+    args = ap.parse_args()
+
+    try:
+        reports = json.load(sys.stdin)
+    except json.JSONDecodeError as e:
+        print(f"lint_annotations: bad JSON on stdin: {e}", file=sys.stderr)
+        return 2
+    if not isinstance(reports, list):
+        print("lint_annotations: expected a JSON array", file=sys.stderr)
+        return 2
+
+    errors = 0
+    for rep in reports:
+        spec = rep.get("spec", "?")
+        for f in rep.get("findings", []):
+            sev = f.get("severity", "error")
+            if sev == "error":
+                errors += 1
+            where = f"spec '{spec}'"
+            if f.get("position", -1) >= 0:
+                where += f" layer {f['layer']} (#{f['position'] + 1})"
+            msg = f"[{f.get('rule', '?')}] {where}: {f.get('message', '')}"
+            if f.get("suggestion"):
+                msg += f" -- fix: {f['suggestion']}"
+            loc = f",file={args.file}" if args.file else ""
+            print(f"::{sev} title=horus-lint{loc}::{esc(msg)}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,8 +19,12 @@ if [[ ! -x "$lint" ]]; then
   exit 2
 fi
 
+# --list-layers prints "NAME batch_safe=... up_emits=..."; the layer name
+# is the first field.
 declare -A known
-while IFS= read -r name; do known[$name]=1; done < <("$lint" --list-layers)
+while IFS= read -r name; do
+  known[$name]=1
+done < <("$lint" --list-layers | awk '{print $1}')
 
 is_spec() {
   local IFS=':' tok
@@ -37,6 +41,7 @@ mapfile -t cands < <(
 
 checked=0
 fail=0
+bad_specs=()
 for spec in "${cands[@]}"; do
   is_spec "$spec" || continue
   checked=$((checked + 1))
@@ -50,9 +55,16 @@ for spec in "${cands[@]}"; do
       echo "ILL-FORMED SPEC IN TREE:"
       echo "$out"
       fail=1
+      bad_specs+=("$spec")
     fi
   fi
 done
+
+# Inside GitHub Actions, surface the failures as inline PR annotations too.
+if [[ -n "${GITHUB_ACTIONS:-}" && ${#bad_specs[@]} -gt 0 ]]; then
+  "$lint" --json "${bad_specs[@]}" |
+    python3 "$root/scripts/lint_annotations.py" || true
+fi
 
 echo "lint_specs: checked $checked spec(s), $((${#cands[@]} - checked)) non-spec literal(s) skipped"
 exit $fail

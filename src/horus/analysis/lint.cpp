@@ -233,6 +233,66 @@ std::string LintReport::to_string() const {
   return os.str();
 }
 
+namespace {
+
+/// Minimal JSON string escaping; spec strings and messages are ASCII, so
+/// control characters and the two structural escapes are all we need.
+void json_escape_to(std::ostringstream& os, const std::string& s) {
+  static const char* hex = "0123456789abcdef";
+  for (char c : s) {
+    auto u = static_cast<unsigned char>(c);
+    if (c == '"') {
+      os << "\\\"";
+    } else if (c == '\\') {
+      os << "\\\\";
+    } else if (u < 0x20) {
+      os << "\\u00" << hex[u >> 4] << hex[u & 0xf];
+    } else {
+      os << c;
+    }
+  }
+}
+
+void json_string(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  json_escape_to(os, s);
+  os << '"';
+}
+
+}  // namespace
+
+std::string LintReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"spec\":";
+  json_string(os, spec);
+  os << ",\"ok\":" << (ok() ? "true" : "false") << ",\"errors\":" << errors()
+     << ",\"warnings\":" << warnings() << ",\"findings\":[";
+  bool first = true;
+  for (const LintDiagnostic& d : diagnostics) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"rule\":";
+    json_string(os, d.rule);
+    os << ",\"severity\":\""
+       << (d.severity == Severity::kError ? "error" : "warning")
+       << "\",\"layer\":";
+    json_string(os, d.layer);
+    os << ",\"position\":";
+    if (d.index == LintDiagnostic::kWholeStack) {
+      os << -1;
+    } else {
+      os << d.index;
+    }
+    os << ",\"message\":";
+    json_string(os, d.message);
+    os << ",\"suggestion\":";
+    json_string(os, d.suggestion);
+    os << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
 LintReport lint_stack(const std::vector<LintLayer>& stack,
                       const std::vector<LintLayer>& library,
                       props::PropertySet network) {

@@ -47,6 +47,12 @@ struct LintReport {
   [[nodiscard]] bool ok() const { return errors() == 0; }
   /// Multi-line human-readable rendering, one diagnostic per line.
   [[nodiscard]] std::string to_string() const;
+  /// Machine-readable rendering for CI tooling
+  /// (scripts/lint_annotations.py): one JSON object
+  ///   {"spec":...,"ok":...,"errors":N,"warnings":N,"findings":[...]}
+  /// where each finding carries the stable rule id, severity, offending
+  /// layer name and zero-based position (-1 for whole-stack findings).
+  [[nodiscard]] std::string to_json() const;
 };
 
 /// A layer row as the linter sees it. Mirrors what the registry knows

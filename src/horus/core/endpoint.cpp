@@ -23,7 +23,7 @@ Endpoint::Endpoint(Address addr, StackConfig cfg,
 Endpoint::~Endpoint() = default;
 
 Group* Endpoint::find_group(GroupId gid) {
-  std::shared_lock lock(groups_mu_);
+  util::ReaderLock lock(groups_mu_);
   auto it = groups_.find(gid);
   return it != groups_.end() ? it->second.get() : nullptr;
 }
@@ -37,6 +37,11 @@ Group& Endpoint::group(GroupId gid) {
 Group& Endpoint::ensure_group(GroupId gid, Stack& on) {
   if (Group* g = find_group(gid)) return *g;
   auto g = std::make_unique<Group>(gid, on, on.epoch_stamp());
+#ifdef HORUS_CHECK_RACES
+  // Register the group's ownership token before the first state access so
+  // every probe from here on knows who the legal owner is.
+  g->race_set_owner(race::owner_key(exec_.get(), gid.id));
+#endif
   // Until a membership layer (or the application's view downcall) installs
   // a real view, the group is a singleton: just this endpoint.
   g->set_view(View(ViewId{0, addr_}, {addr_}));
@@ -46,7 +51,7 @@ Group& Endpoint::ensure_group(GroupId gid, Stack& on) {
   on.init_group(*g);
   Group& ref = *g;
   {
-    std::unique_lock lock(groups_mu_);
+    util::WriterLock lock(groups_mu_);
     groups_.emplace(gid, std::move(g));
   }
   return ref;
@@ -306,6 +311,7 @@ void Endpoint::reconfigure(GroupId gid, const std::string& new_spec) {
     return;
   }
   // Membership-less stack: switch locally, as a group-serialized task.
+  HORUS_RACE_ORIGIN_SCOPE(race_origin, kReconfig);
   exec_->post(gid.id, [this, gid, new_spec]() {
     if (crashed()) return;
     Group* grp = find_group(gid);
@@ -342,7 +348,7 @@ Stack* Endpoint::build_epoch_stack(const std::string& spec,
   }
   if (on_stack_built_) on_stack_built_(*ns);
   Stack* raw = ns.get();
-  std::lock_guard lock(epoch_stacks_mu_);
+  util::MutexLock lock(epoch_stacks_mu_);
   epoch_stacks_.push_back(std::move(ns));
   return raw;
 }
@@ -364,18 +370,25 @@ void Endpoint::complete_reconfig(Group& g, const std::string& spec,
   // transfer; everything below it is drain-only.
   const auto& ol = old.layers();
   const auto& nl = ns->layers();
-  for (std::size_t i = 0; i < ol.size() && i < nl.size(); ++i) {
-    if (ol[i]->info().name != nl[i]->info().name) break;
-    Writer w;
-    ol[i]->export_state(g, w);
-    if (w.size() == 0) continue;
-    Bytes blob = w.take();
-    Reader r{ByteSpan(blob)};
-    try {
-      nl[i]->import_state(g, r);
-      msg_path_stats().state_transfers.fetch_add(1, std::memory_order_relaxed);
-    } catch (const DecodeError&) {
-      // A transfer the new layer cannot decode degrades to drain-only.
+  {
+    // export_state reads the old epoch's slots after adopt_epoch marked it
+    // draining: the state-transfer handoff is sanctioned, so open the
+    // shadow scope horus-race requires for draining-epoch access.
+    HORUS_RACE_SHADOW_SCOPE(race_shadow, &old);
+    for (std::size_t i = 0; i < ol.size() && i < nl.size(); ++i) {
+      if (ol[i]->info().name != nl[i]->info().name) break;
+      Writer w;
+      ol[i]->export_state(g, w);
+      if (w.size() == 0) continue;
+      Bytes blob = w.take();
+      Reader r{ByteSpan(blob)};
+      try {
+        nl[i]->import_state(g, r);
+        msg_path_stats().state_transfers.fetch_add(1,
+                                                   std::memory_order_relaxed);
+      } catch (const DecodeError&) {
+        // A transfer the new layer cannot decode degrades to drain-only.
+      }
     }
   }
 
@@ -420,7 +433,7 @@ void Endpoint::local_switch(Group& g, const std::string& spec) {
 }
 
 void Endpoint::destroy() {
-  std::shared_lock lock(groups_mu_);  // iterate only; no map mutation
+  util::ReaderLock lock(groups_mu_);  // iterate only; no map mutation
   for (auto& [gid, g] : groups_) {
     if (g->destroyed()) continue;
     DownEvent ev;

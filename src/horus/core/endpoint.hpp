@@ -7,13 +7,12 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 
 #include "horus/core/stack.hpp"
 #include "horus/properties/algebra.hpp"
+#include "horus/util/thread_annotations.hpp"
 
 namespace horus {
 
@@ -215,15 +214,17 @@ class Endpoint {
   std::vector<std::unique_ptr<Stack>> extra_stacks_;
   // Stacks built by live reconfiguration. Guarded: switches for different
   // groups may build concurrently on different executor shards.
-  std::mutex epoch_stacks_mu_;
-  std::vector<std::unique_ptr<Stack>> epoch_stacks_;
+  util::Mutex epoch_stacks_mu_;
+  std::vector<std::unique_ptr<Stack>> epoch_stacks_
+      GUARDED_BY(epoch_stacks_mu_);
   LayerFactory layer_factory_;
   std::function<void(Stack&)> on_stack_built_;
   // Written on the application thread (join/leave), read on every executor
   // shard (each task re-finds its group). Lookups take the shared side so
   // the receive hot path never contends with other readers.
-  mutable std::shared_mutex groups_mu_;
-  std::unordered_map<GroupId, std::unique_ptr<Group>> groups_;
+  mutable util::SharedMutex groups_mu_;
+  std::unordered_map<GroupId, std::unique_ptr<Group>> groups_
+      GUARDED_BY(groups_mu_);
   UpcallHandler handler_;
   std::atomic<bool> crashed_{false};
 };

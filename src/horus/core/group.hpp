@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "horus/analysis/race.hpp"
 #include "horus/core/layer.hpp"
 #include "horus/core/types.hpp"
 #include "horus/core/view.hpp"
@@ -61,8 +62,14 @@ class Group {
 
   /// The view as currently installed at this member. Membership layers
   /// update it; for membership-less stacks it is just the destination set.
-  [[nodiscard]] const View& view() const { return view_; }
-  void set_view(View v) { view_ = std::move(v); }
+  [[nodiscard]] const View& view() const {
+    HORUS_RACE_PROBE_GROUP(race_owner_, gid_.id, "Group::view");
+    return view_;
+  }
+  void set_view(View v) {
+    HORUS_RACE_PROBE_GROUP(race_owner_, gid_.id, "Group::set_view");
+    view_ = std::move(v);
+  }
 
   // destroyed_ and current_ are the only fields crossing threads under a
   // sharded runtime: set on the application thread (destroy) or inside a
@@ -81,9 +88,11 @@ class Group {
   // --- being re-checked inside the task that acts on it).
 
   [[nodiscard]] Epoch& current_epoch() {
+    HORUS_RACE_PROBE_GROUP(race_owner_, gid_.id, "Group::current_epoch");
     return *epoch_for(*current_.load(std::memory_order_acquire));
   }
   [[nodiscard]] std::uint32_t epoch_number() const {
+    HORUS_RACE_PROBE_GROUP(race_owner_, gid_.id, "Group::epoch_number");
     for (const Epoch& e : epochs_) {
       if (e.stack == current_.load(std::memory_order_acquire)) return e.number;
     }
@@ -98,6 +107,7 @@ class Group {
   /// still be heard. nullptr when the epoch has already retired (the
   /// caller drops and counts the datagram).
   [[nodiscard]] Epoch* epoch_for_stamp(std::uint16_t stamp) {
+    HORUS_RACE_PROBE_GROUP(race_owner_, gid_.id, "Group::epoch_for_stamp");
     for (Epoch& e : epochs_) {
       if (e.stamp == stamp) return &e;
     }
@@ -123,10 +133,20 @@ class Group {
     return false;
   }
 
+  /// Is `s` a draining shadow epoch here? Used by the timer path to open a
+  /// race::ShadowScope before running a superseded stack's callbacks.
+  [[nodiscard]] bool epoch_draining(const Stack& s) const {
+    for (const Epoch& e : epochs_) {
+      if (e.stack == &s) return e.draining;
+    }
+    return false;
+  }
+
   /// Install `s` as the new current epoch. The old current epoch becomes a
   /// draining shadow: its layers keep parsing stragglers stamped with the
   /// old epoch until the endpoint retires it.
   void adopt_epoch(Stack& s, std::uint32_t number, std::uint16_t stamp) {
+    HORUS_RACE_PROBE_GROUP(race_owner_, gid_.id, "Group::adopt_epoch");
     if (Epoch* cur = epoch_for(stack())) cur->draining = true;
     Epoch e;
     e.stack = &s;
@@ -139,6 +159,7 @@ class Group {
   /// Drop a draining epoch's record (frees its layer state). Refuses to
   /// retire the current epoch. Returns whether a record was removed.
   bool retire_epoch(const Stack& s) {
+    HORUS_RACE_PROBE_GROUP(race_owner_, gid_.id, "Group::retire_epoch");
     for (auto it = epochs_.begin(); it != epochs_.end(); ++it) {
       if (it->stack == &s) {
         if (!it->draining) return false;  // still (or again) current
@@ -155,12 +176,16 @@ class Group {
   std::vector<std::unique_ptr<LayerState>>& states_for(const Stack& s) {
     Epoch* e = epoch_for(s);
     assert(e != nullptr && "states_for: unknown stack epoch");
+    HORUS_RACE_PROBE_STATE(race_owner_, gid_.id, &s, e->draining,
+                           "Group::states_for");
     return e->states;
   }
 
   [[nodiscard]] LayerState* state_at(const Stack& s, std::size_t idx) {
     Epoch* e = epoch_for(s);
     if (e == nullptr || idx >= e->states.size()) return nullptr;
+    HORUS_RACE_PROBE_STATE(race_owner_, gid_.id, &s, e->draining,
+                           "Group::state_at");
     return e->states[idx].get();
   }
 
@@ -171,6 +196,16 @@ class Group {
   [[nodiscard]] props::PropertySet required() const { return required_; }
   void set_required(props::PropertySet p) { required_ = p; }
 
+#ifdef HORUS_CHECK_RACES
+  /// Ownership token for horus-race (race::owner_key of the owning
+  /// executor and group key). 0 -- a bare Group built outside an endpoint
+  /// -- disables the probes for this group. required_/set_required stay
+  /// unprobed: the required property set is application-owned (read by the
+  /// reconfigure precheck on the app thread), like stack() and destroyed().
+  void race_set_owner(std::uint64_t token) { race_owner_ = token; }
+  [[nodiscard]] std::uint64_t race_owner() const { return race_owner_; }
+#endif
+
  private:
   GroupId gid_;
   std::atomic<Stack*> current_;
@@ -178,6 +213,9 @@ class Group {
   std::atomic<bool> destroyed_{false};
   props::PropertySet required_ = 0;
   std::vector<Epoch> epochs_;
+#ifdef HORUS_CHECK_RACES
+  std::uint64_t race_owner_ = 0;
+#endif
 };
 
 template <class T>

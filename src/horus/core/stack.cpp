@@ -142,6 +142,7 @@ std::size_t Stack::region_bytes() const {
 void Stack::down(Group& g, DownEvent ev) {
   stats_.downcalls.fetch_add(1, std::memory_order_relaxed);
   GroupId gid = g.gid();
+  HORUS_RACE_ORIGIN_SCOPE(race_origin, kDowncall);
   exec_.post(gid.id, [this, gid, ev = std::move(ev)]() mutable {
     if (owner_->crashed()) return;
     Group* grp = owner_->find_group(gid);
@@ -164,6 +165,7 @@ void Stack::down_batch(Group& g, std::vector<DownEvent> evs) {
   msg_path_stats().batched_events.fetch_add(evs.size(),
                                             std::memory_order_relaxed);
   GroupId gid = g.gid();
+  HORUS_RACE_ORIGIN_SCOPE(race_origin, kDowncall);
   exec_.post(gid.id, [this, gid, evs = std::move(evs)]() mutable {
     if (owner_->crashed()) return;
     Group* grp = owner_->find_group(gid);
@@ -204,6 +206,10 @@ void route_by_epoch(Group& g, Address src,
   if (e->draining) {
     msg_path_stats().shadow_datagrams.fetch_add(1, std::memory_order_relaxed);
   }
+  // Straggler delivery is one of the sanctioned ways into a draining
+  // epoch's state; everything the shadow chain touches under this scope is
+  // legal, a retained pointer used anywhere else is not.
+  HORUS_RACE_SHADOW_SCOPE(race_shadow, e->draining ? e->stack : nullptr);
   e->stack->receive_inline(g, src, datagram);
 }
 
@@ -212,6 +218,7 @@ void route_by_epoch(Group& g, Address src,
 void Stack::deliver_datagram(Address src, GroupId gid,
                              std::shared_ptr<const Bytes> datagram) {
   stats_.datagrams_received.fetch_add(1, std::memory_order_relaxed);
+  HORUS_RACE_ORIGIN_SCOPE(race_origin, kDatagram);
   exec_.post(gid.id, [this, src, gid, datagram = std::move(datagram)]() {
     if (owner_->crashed()) return;
     Group* g = owner_->find_group(gid);
@@ -226,6 +233,7 @@ void Stack::deliver_datagram_batch(
   if (datagrams.empty()) return;
   stats_.datagrams_received.fetch_add(datagrams.size(),
                                       std::memory_order_relaxed);
+  HORUS_RACE_ORIGIN_SCOPE(race_origin, kDatagram);
   std::vector<runtime::Task> tasks;
   tasks.reserve(datagrams.size());
   for (auto& d : datagrams) {
@@ -245,6 +253,7 @@ void Stack::receive_inline(Group& g, Address src,
 }
 
 void Stack::forward_down(std::size_t from_index, Group& g, DownEvent& ev) {
+  HORUS_RACE_PROBE_GROUP(g.race_owner(), g.gid().id, "Stack::forward_down");
   if (monitor_ != nullptr) monitor_->on_forward_down(g, from_index, ev);
   // Any data descent -- an app downcall or a message originated mid-stack
   // (token, retransmission, fragment) -- moves onto the linear hot path at
@@ -301,6 +310,7 @@ void Stack::forward_down_batch(std::size_t from_index, Group& g,
 }
 
 void Stack::forward_up(std::size_t from_index, Group& g, UpEvent& ev) {
+  HORUS_RACE_PROBE_GROUP(g.race_owner(), g.gid().id, "Stack::forward_up");
   if (monitor_ != nullptr) monitor_->on_forward_up(g, from_index, ev);
   std::size_t next;
   if (from_index == 0) {
@@ -460,7 +470,13 @@ Bytes Stack::region_prefix(const Message& m, const Layer& layer) const {
 
 sim::TimerId Stack::schedule(GroupId gid, sim::Duration d,
                              std::function<void(Group&)> fn) {
+  // Arming a timer for another group from inside a group task is flagged
+  // at the source: when it fires it would mutate state the arming task
+  // never owned, and catching it here names the culprit, not the victim.
+  HORUS_RACE_PROBE_TIMER(race::owner_key(&exec_, gid.id), gid.id,
+                         "Stack::schedule");
   return sched_.schedule(d, [this, gid, fn = std::move(fn)]() {
+    HORUS_RACE_ORIGIN_SCOPE(race_origin, kTimer);
     exec_.post(gid.id, [this, gid, fn]() {
       if (owner_->crashed()) return;
       Group* g = owner_->find_group(gid);
@@ -469,6 +485,10 @@ sim::TimerId Stack::schedule(GroupId gid, sim::Duration d,
       // slots are gone. Draining shadows still tick (NAK repair keeps
       // running while stragglers drain).
       if (!g->knows_stack(*this)) return;
+      // A shadow's timer callbacks may touch its own draining state.
+      HORUS_RACE_SHADOW_SCOPE(
+          race_shadow,
+          g->epoch_draining(*this) ? static_cast<const void*>(this) : nullptr);
       fn(*g);
     });
   });

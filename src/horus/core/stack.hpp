@@ -126,8 +126,13 @@ struct StackStats {
   std::atomic<std::uint64_t> payload_bytes_sent{0};
 
   void reset() {
-    downcalls = upcalls_to_app = datagrams_sent = datagrams_received = 0;
-    wire_bytes_sent = header_bytes_sent = payload_bytes_sent = 0;
+    // Relaxed to match the increments (reset is a between-phases
+    // operation, not a synchronization point).
+    for (auto* c : {&downcalls, &upcalls_to_app, &datagrams_sent,
+                    &datagrams_received, &wire_bytes_sent,
+                    &header_bytes_sent, &payload_bytes_sent}) {
+      c->store(0, std::memory_order_relaxed);
+    }
   }
 };
 

@@ -42,6 +42,9 @@ void MonitorExecutor::post(Task t) {
 }
 
 void GroupExecutor::post(GroupKey key, Task t) {
+#ifdef HORUS_CHECK_RACES
+  t = race::wrap_task(static_cast<const Executor*>(this), key, std::move(t));
+#endif
   groups_[key].push_back(std::move(t));
   order_.push_back(key);
   if (running_) return;
@@ -101,7 +104,7 @@ ThreadPoolExecutor::ThreadPoolExecutor(unsigned threads) {
 
 ThreadPoolExecutor::~ThreadPoolExecutor() {
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -110,22 +113,23 @@ ThreadPoolExecutor::~ThreadPoolExecutor() {
 
 void ThreadPoolExecutor::post(Task t) {
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     queue_.push_back(std::move(t));
   }
   cv_.notify_one();
 }
 
 void ThreadPoolExecutor::drain() {
-  std::unique_lock lock(mu_);
+  std::unique_lock lock(mu_.native());
   idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  HORUS_RACE_ACQUIRE_ALL();
 }
 
 void ThreadPoolExecutor::worker() {
   for (;;) {
     Task task;
     {
-      std::unique_lock lock(mu_);
+      std::unique_lock lock(mu_.native());
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
@@ -134,11 +138,11 @@ void ThreadPoolExecutor::worker() {
     }
     {
       // One thread inside the stack at a time, as in threaded Horus.
-      std::lock_guard stack_lock(stack_mu_);
+      util::MutexLock stack_lock(stack_mu_);
       task();
     }
     {
-      std::lock_guard lock(mu_);
+      util::MutexLock lock(mu_);
       --active_;
       if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
     }
@@ -161,7 +165,7 @@ ShardedExecutor::ShardedExecutor(unsigned shards) {
 ShardedExecutor::~ShardedExecutor() {
   for (auto& s : shards_) {
     {
-      std::lock_guard lock(s->mu);
+      util::MutexLock lock(s->mu);
       s->stop = true;
     }
     s->cv.notify_all();
@@ -169,6 +173,7 @@ ShardedExecutor::~ShardedExecutor() {
   // Workers finish their remaining queue before exiting, so queued work is
   // completed, not dropped.
   for (auto& s : shards_) s->thread.join();
+  HORUS_RACE_ACQUIRE_ALL();
 }
 
 unsigned ShardedExecutor::shard_of(GroupKey key) const {
@@ -176,10 +181,13 @@ unsigned ShardedExecutor::shard_of(GroupKey key) const {
 }
 
 void ShardedExecutor::post(GroupKey key, Task t) {
+#ifdef HORUS_CHECK_RACES
+  t = race::wrap_task(static_cast<const Executor*>(this), key, std::move(t));
+#endif
   Shard& s = *shards_[shard_of(key)];
   inflight_.fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard lock(s.mu);
+    util::MutexLock lock(s.mu);
     s.q.push_back(std::move(t));
   }
   s.cv.notify_one();
@@ -187,27 +195,36 @@ void ShardedExecutor::post(GroupKey key, Task t) {
 
 void ShardedExecutor::post_batch(GroupKey key, std::vector<Task> tasks) {
   if (tasks.empty()) return;
+#ifdef HORUS_CHECK_RACES
+  for (Task& t : tasks) {
+    t = race::wrap_task(static_cast<const Executor*>(this), key, std::move(t));
+  }
+#endif
   Shard& s = *shards_[shard_of(key)];
   inflight_.fetch_add(tasks.size(), std::memory_order_relaxed);
   {
-    std::lock_guard lock(s.mu);
+    util::MutexLock lock(s.mu);
     for (Task& t : tasks) s.q.push_back(std::move(t));
   }
   s.cv.notify_one();
 }
 
 void ShardedExecutor::drain() {
-  std::unique_lock lock(idle_mu_);
+  std::unique_lock lock(idle_mu_.native());
   idle_cv_.wait(lock, [this] {
     return inflight_.load(std::memory_order_acquire) == 0;
   });
+  // Everything the workers did happens-before drain() returning: publish
+  // their clocks to the caller so post-drain reads are recognized as
+  // ordered, not flagged.
+  HORUS_RACE_ACQUIRE_ALL();
 }
 
 void ShardedExecutor::worker(Shard& s) {
   for (;;) {
     Task task;
     {
-      std::unique_lock lock(s.mu);
+      std::unique_lock lock(s.mu.native());
       s.cv.wait(lock, [&s] { return s.stop || !s.q.empty(); });
       if (s.q.empty()) return;  // stop requested and queue fully drained
       task = std::move(s.q.front());
@@ -222,7 +239,7 @@ void ShardedExecutor::worker(Shard& s) {
     // finished, so drain() returning implies all task side effects are done.
     task = nullptr;
     if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::lock_guard lock(idle_mu_);
+      util::MutexLock lock(idle_mu_);
       idle_cv_.notify_all();
     }
   }

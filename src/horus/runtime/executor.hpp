@@ -48,6 +48,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "horus/analysis/race.hpp"
+#include "horus/util/thread_annotations.hpp"
+
 namespace horus::runtime {
 
 using Task = std::function<void()>;
@@ -65,9 +68,13 @@ class Executor {
   /// Submit a task. Depending on the model it may run before post returns.
   virtual void post(Task t) = 0;
   /// Submit a task bound to a group, the unit of mutual exclusion
-  /// (Section 3). Models that do not shard ignore the key.
+  /// (Section 3). Models that do not shard ignore the key (but horus-race
+  /// still frames the task with it, so ownership probes see who it ran as).
   virtual void post(GroupKey key, Task t) {
     (void)key;
+#ifdef HORUS_CHECK_RACES
+    t = race::wrap_task(this, key, std::move(t));
+#endif
     post(std::move(t));
   }
   /// Submit several tasks bound to one group as a unit: they run in order,
@@ -175,19 +182,22 @@ class ThreadPoolExecutor final : public Executor {
   ThreadPoolExecutor& operator=(const ThreadPoolExecutor&) = delete;
 
   void post(Task t) override;
-  void drain() override;
+  /// Condition waits release/reacquire the lock in a pattern the static
+  /// analysis cannot follow, hence the opt-out; the dynamic sanitizers
+  /// (TSan job) cover these paths instead.
+  void drain() override NO_THREAD_SAFETY_ANALYSIS;
 
  private:
-  void worker();
+  void worker() NO_THREAD_SAFETY_ANALYSIS;
 
-  std::mutex mu_;
+  util::Mutex mu_;
   std::condition_variable cv_;
   std::condition_variable idle_cv_;
-  std::deque<Task> queue_;
+  std::deque<Task> queue_ GUARDED_BY(mu_);
   std::vector<std::thread> threads_;
-  std::mutex stack_mu_;  // the per-stack lock the paper talks about
-  unsigned active_ = 0;
-  bool stop_ = false;
+  util::Mutex stack_mu_;  // the per-stack lock the paper talks about
+  unsigned active_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 /// The sharded runtime: groups hash onto N shards, each an MPSC run queue
@@ -213,7 +223,9 @@ class ShardedExecutor final : public Executor {
   void post_batch(GroupKey key, std::vector<Task> tasks) override;
   /// Block until every posted task (including tasks posted by tasks) has
   /// finished. Callable from any thread that is not a shard worker.
-  void drain() override;
+  /// (Opted out of the static lock analysis: the condition wait's
+  /// release/reacquire cycle is invisible to it.)
+  void drain() override NO_THREAD_SAFETY_ANALYSIS;
 
   [[nodiscard]] unsigned shards() const {
     return static_cast<unsigned>(shards_.size());
@@ -227,19 +239,19 @@ class ShardedExecutor final : public Executor {
 
  private:
   struct Shard {
-    std::mutex mu;
+    util::Mutex mu;
     std::condition_variable cv;
-    std::deque<Task> q;
-    bool stop = false;
+    std::deque<Task> q GUARDED_BY(mu);
+    bool stop GUARDED_BY(mu) = false;
     std::thread thread;
   };
 
-  void worker(Shard& s);
+  void worker(Shard& s) NO_THREAD_SAFETY_ANALYSIS;
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<std::uint64_t> inflight_{0};
   std::atomic<std::uint64_t> exceptions_{0};
-  std::mutex idle_mu_;
+  util::Mutex idle_mu_;
   std::condition_variable idle_cv_;
 };
 

@@ -28,12 +28,12 @@ FaultDecision RngFaultPolicy::decide(std::uint64_t /*index*/, NodeId /*src*/,
 }
 
 void SimNetwork::set_fault_policy(std::shared_ptr<FaultPolicy> p) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   policy_ = std::move(p);
 }
 
 std::uint64_t SimNetwork::decisions_made() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return next_decision_;
 }
 
@@ -48,17 +48,17 @@ bool SimNetwork::is_attached(NodeId node) const {
 }
 
 void SimNetwork::set_link_params(NodeId src, NodeId dst, const LinkParams& p) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   link_params_[{src, dst}] = p;
 }
 
 void SimNetwork::clear_link_params(NodeId src, NodeId dst) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   link_params_.erase({src, dst});
 }
 
 void SimNetwork::set_partitions(const std::vector<std::vector<NodeId>>& cells) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   cell_of_.clear();
   partitioned_ = !cells.empty();
   int idx = 0;
@@ -69,7 +69,7 @@ void SimNetwork::set_partitions(const std::vector<std::vector<NodeId>>& cells) {
 }
 
 bool SimNetwork::can_reach(NodeId a, NodeId b) const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return can_reach_locked(a, b);
 }
 
@@ -92,7 +92,7 @@ void SimNetwork::send(NodeId src, NodeId dst, ByteSpan data) {
   // One lock for the whole decision: link params, partition state and the
   // fault decision must stay coherent (and decisions must be made in a
   // fixed order, for determinism) even when many shards send at once.
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   const LinkParams& p = params_for_locked(src, dst);
   if (data.size() > p.mtu) {
     stats_.dropped_mtu.fetch_add(1, std::memory_order_relaxed);

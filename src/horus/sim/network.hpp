@@ -16,13 +16,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "horus/sim/scheduler.hpp"
 #include "horus/util/bytes.hpp"
 #include "horus/util/rng.hpp"
+#include "horus/util/thread_annotations.hpp"
 
 namespace horus::sim {
 
@@ -98,8 +98,13 @@ struct NetStats {
   std::atomic<std::uint64_t> bytes_sent{0};
 
   void reset() {
-    sent = delivered = dropped_loss = dropped_partition = 0;
-    dropped_crashed = dropped_mtu = duplicated = corrupted = bytes_sent = 0;
+    // Relaxed to match the increments (reset is a between-phases
+    // operation, not a synchronization point).
+    for (auto* c : {&sent, &delivered, &dropped_loss, &dropped_partition,
+                    &dropped_crashed, &dropped_mtu, &duplicated, &corrupted,
+                    &bytes_sent}) {
+      c->store(0, std::memory_order_relaxed);
+    }
   }
 };
 
@@ -127,9 +132,17 @@ class SimNetwork {
   /// Best-effort datagram send.
   void send(NodeId src, NodeId dst, ByteSpan data);
 
-  /// Default parameters for links without an override.
-  void set_default_params(const LinkParams& p) { default_params_ = p; }
-  [[nodiscard]] const LinkParams& default_params() const { return default_params_; }
+  /// Default parameters for links without an override. Returned by value:
+  /// the stored copy is guarded by the network lock, so handing out a
+  /// reference would let callers read it unsynchronized.
+  void set_default_params(const LinkParams& p) {
+    util::MutexLock lock(mu_);
+    default_params_ = p;
+  }
+  [[nodiscard]] LinkParams default_params() const {
+    util::MutexLock lock(mu_);
+    return default_params_;
+  }
 
   /// Per-directed-link override.
   void set_link_params(NodeId src, NodeId dst, const LinkParams& p);
@@ -154,25 +167,29 @@ class SimNetwork {
   [[nodiscard]] Scheduler& scheduler() { return sched_; }
 
  private:
-  const LinkParams& params_for_locked(NodeId src, NodeId dst) const;
-  bool can_reach_locked(NodeId a, NodeId b) const;
+  const LinkParams& params_for_locked(NodeId src, NodeId dst) const
+      REQUIRES(mu_);
+  bool can_reach_locked(NodeId a, NodeId b) const REQUIRES(mu_);
   void deliver_at_locked(NodeId src, NodeId dst,
-                         std::shared_ptr<const Bytes> data, Duration delay);
+                         std::shared_ptr<const Bytes> data, Duration delay)
+      REQUIRES(mu_);
 
   Scheduler& sched_;
   // mu_ guards the fault policy, link parameters and partition state:
   // send() runs on executor shard threads while the driver thread
   // reconfigures the world. handlers_ is confined to the driver thread
   // (attach/crash and deliveries all happen there), so handler invocation
-  // never holds the lock.
-  mutable std::mutex mu_;
-  std::shared_ptr<FaultPolicy> policy_;
-  std::uint64_t next_decision_ = 0;
-  LinkParams default_params_;
+  // never holds the lock -- which is also why handlers_ carries no
+  // GUARDED_BY: its discipline is thread confinement, not a capability.
+  mutable util::Mutex mu_;
+  std::shared_ptr<FaultPolicy> policy_ GUARDED_BY(mu_);
+  std::uint64_t next_decision_ GUARDED_BY(mu_) = 0;
+  LinkParams default_params_ GUARDED_BY(mu_);
   std::unordered_map<NodeId, Handler> handlers_;
-  std::map<std::pair<NodeId, NodeId>, LinkParams> link_params_;
-  std::unordered_map<NodeId, int> cell_of_;  // empty map = no partitions
-  bool partitioned_ = false;
+  std::map<std::pair<NodeId, NodeId>, LinkParams> link_params_
+      GUARDED_BY(mu_);
+  std::unordered_map<NodeId, int> cell_of_ GUARDED_BY(mu_);  // empty = whole
+  bool partitioned_ GUARDED_BY(mu_) = false;
   NetStats stats_;
 };
 

@@ -5,14 +5,22 @@
 namespace horus::sim {
 
 TimerId Scheduler::schedule(Duration delay, std::function<void()> fn) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   TimerId id = next_id_++;
-  queue_.push(Event{now() + delay, next_seq_++, id, std::move(fn)});
+  Event ev;
+  ev.at = now() + delay;
+  ev.seq = next_seq_++;
+  ev.id = id;
+  ev.fn = std::move(fn);
+#ifdef HORUS_CHECK_RACES
+  ev.snap = race::capture();
+#endif
+  queue_.push(std::move(ev));
   return id;
 }
 
 void Scheduler::cancel(TimerId id) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   cancelled_.insert(id);
 }
 
@@ -35,7 +43,7 @@ bool Scheduler::pop_one_locked(Event& out) {
 }
 
 std::optional<Time> Scheduler::next_due() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   prune_cancelled_locked();
   if (queue_.empty()) return std::nullopt;
   return queue_.top().at;
@@ -46,11 +54,14 @@ std::size_t Scheduler::run() {
   Event ev;
   for (;;) {
     {
-      std::lock_guard lock(mu_);
+      util::MutexLock lock(mu_);
       if (!pop_one_locked(ev)) break;
       now_.store(ev.at, std::memory_order_relaxed);
     }
     // Outside the lock: the closure may re-enter schedule/cancel.
+#ifdef HORUS_CHECK_RACES
+    race::acquire(ev.snap);
+#endif
     ev.fn();
     ev.fn = nullptr;
     ++n;
@@ -63,13 +74,16 @@ std::size_t Scheduler::run_until(Time deadline) {
   Event ev;
   for (;;) {
     {
-      std::lock_guard lock(mu_);
+      util::MutexLock lock(mu_);
       prune_cancelled_locked();
       if (queue_.empty() || queue_.top().at > deadline) break;
       ev = std::move(const_cast<Event&>(queue_.top()));
       queue_.pop();
       now_.store(ev.at, std::memory_order_relaxed);
     }
+#ifdef HORUS_CHECK_RACES
+    race::acquire(ev.snap);
+#endif
     ev.fn();
     ev.fn = nullptr;
     ++n;
@@ -81,10 +95,13 @@ std::size_t Scheduler::run_until(Time deadline) {
 bool Scheduler::step() {
   Event ev;
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     if (!pop_one_locked(ev)) return false;
     now_.store(ev.at, std::memory_order_relaxed);
   }
+#ifdef HORUS_CHECK_RACES
+  race::acquire(ev.snap);
+#endif
   ev.fn();
   return true;
 }

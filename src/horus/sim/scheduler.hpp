@@ -33,11 +33,13 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <queue>
 #include <unordered_set>
 #include <vector>
+
+#include "horus/analysis/race.hpp"
+#include "horus/util/thread_annotations.hpp"
 
 namespace horus::sim {
 
@@ -87,20 +89,26 @@ class Scheduler {
   [[nodiscard]] std::optional<Time> next_due() const;
 
   [[nodiscard]] bool empty() const {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     return queue_.size() == cancelled_.size();
   }
   [[nodiscard]] std::size_t pending() const {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     return queue_.size() - cancelled_.size();
   }
 
  private:
   struct Event {
-    Time at;
-    std::uint64_t seq;  // tiebreak: FIFO among equal-time events
-    TimerId id;
+    Time at = 0;
+    std::uint64_t seq = 0;  // tiebreak: FIFO among equal-time events
+    TimerId id = 0;
     std::function<void()> fn;
+#ifdef HORUS_CHECK_RACES
+    // The scheduling thread's clock at schedule() time: the driver thread
+    // acquires it before firing, so schedule -> fire is a happens-before
+    // edge (state the arming task initialized is legal for the fire path).
+    race::ClockSnapshot snap;
+#endif
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -111,16 +119,17 @@ class Scheduler {
 
   /// Drop cancelled events sitting at the head of the queue (so top() is
   /// always a live event). Caller holds mu_.
-  void prune_cancelled_locked() const;
+  void prune_cancelled_locked() const REQUIRES(mu_);
   /// Pop the earliest live event into `out`. Caller holds mu_.
-  bool pop_one_locked(Event& out);
+  bool pop_one_locked(Event& out) REQUIRES(mu_);
 
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_;
   std::atomic<Time> now_{0};
-  std::uint64_t next_seq_ = 0;
-  TimerId next_id_ = 1;
-  mutable std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  mutable std::unordered_set<TimerId> cancelled_;
+  std::uint64_t next_seq_ GUARDED_BY(mu_) = 0;
+  TimerId next_id_ GUARDED_BY(mu_) = 1;
+  mutable std::priority_queue<Event, std::vector<Event>, Later> queue_
+      GUARDED_BY(mu_);
+  mutable std::unordered_set<TimerId> cancelled_ GUARDED_BY(mu_);
 };
 
 }  // namespace horus::sim

@@ -43,15 +43,20 @@ struct MsgPathStats {
   std::atomic<std::uint64_t> state_transfers{0};      ///< layer export/import pairs run
 
   void reset() {
-    pool_hits = pool_misses = oversize = headroom_growths = 0;
-    unshare_copies = wire_fastpath = wire_gather = writer_spills = 0;
-    bytes_copied = 0;
-    packs_built = casts_packed = flushes_by_size = flushes_by_count = 0;
-    flushes_by_timer = packed_bytes_saved = trains_unpacked = 0;
-    casts_unpacked = corrupt_trains = batch_descents = batched_events = 0;
-    reconfigs_requested = reconfigs_completed = reconfigs_rejected = 0;
-    stale_epoch_drops = shadow_datagrams = shadows_retired = 0;
-    state_transfers = 0;
+    // Relaxed, like the increments: reset happens between workload phases
+    // (never racing a counted operation whose value the caller cares
+    // about), so the seq_cst fences of plain atomic assignment buy nothing.
+    for (auto* c :
+         {&pool_hits, &pool_misses, &oversize, &headroom_growths,
+          &unshare_copies, &wire_fastpath, &wire_gather, &writer_spills,
+          &bytes_copied, &packs_built, &casts_packed, &flushes_by_size,
+          &flushes_by_count, &flushes_by_timer, &packed_bytes_saved,
+          &trains_unpacked, &casts_unpacked, &corrupt_trains,
+          &batch_descents, &batched_events, &reconfigs_requested,
+          &reconfigs_completed, &reconfigs_rejected, &stale_epoch_drops,
+          &shadow_datagrams, &shadows_retired, &state_transfers}) {
+      c->store(0, std::memory_order_relaxed);
+    }
   }
 };
 

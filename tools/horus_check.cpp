@@ -29,10 +29,15 @@
 //   --repro=PATH        where to write the artifact on failure
 //                       (default repro.json)
 //   --quiet             only print failures and the summary
+//   --races             also run the horus-race ownership checker across
+//                       every seed: group-ownership violations fail the
+//                       exploration even when every oracle passes. Needs a
+//                       binary built with -DHORUS_CHECK_RACES (the Debug
+//                       default); otherwise the flag is a hard error.
 //
 // Exit status: 0 all seeds passed (or the replay reproduced exactly),
-// 1 a violation was found (artifact written), 2 usage error, 3 a replay
-// diverged from its artifact's hashes.
+// 1 a violation was found (artifact written) or --races saw an ownership
+// violation, 2 usage error, 3 a replay diverged from its artifact's hashes.
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -40,6 +45,7 @@
 #include <string>
 #include <vector>
 
+#include "horus/analysis/race.hpp"
 #include "horus/check/explorer.hpp"
 
 namespace {
@@ -55,7 +61,7 @@ int usage() {
                "                   [--switch-spec=SPEC] [--switch-at-ms=N]\n"
                "                   [--oracles=LIST|auto|all] [--no-shrink]\n"
                "                   [--shrink-budget=N] [--repro=PATH] "
-               "[--quiet]\n"
+               "[--quiet] [--races]\n"
                "       horus-check --replay=repro.json\n";
   return 2;
 }
@@ -195,6 +201,7 @@ int main(int argc, char** argv) {
   std::string replay_path;
   bool quiet = false;
   bool dump = false;
+  bool check_races = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -268,10 +275,19 @@ int main(int argc, char** argv) {
       quiet = true;
     } else if (arg == "--dump") {
       dump = true;
+    } else if (arg == "--races") {
+      check_races = true;
     } else {
       return usage();
     }
   }
+
+  if (check_races && !horus::race::enabled()) {
+    std::cerr << "horus-check: --races needs a build with "
+                 "-DHORUS_CHECK_RACES (cmake -DCMAKE_BUILD_TYPE=Debug)\n";
+    return 2;
+  }
+  if (check_races) horus::race::reset();
 
   if (!replay_path.empty()) return replay_artifact(replay_path, dump);
 
@@ -287,6 +303,21 @@ int main(int argc, char** argv) {
                   << " violation(s)\n";
       } else if (seed % 50 == 0) {
         std::cout << "seed " << seed << ": ok\n";
+      }
+    };
+  }
+  if (check_races) {
+    // Attribute ownership violations to the seed whose run raised them:
+    // the detector's counters are global, so diff them per run.
+    auto prev = std::move(opts.on_run);
+    auto last = std::make_shared<std::uint64_t>(0);
+    opts.on_run = [prev, last](std::uint64_t seed, const RunResult& r) {
+      if (prev) prev(seed, r);
+      std::uint64_t now = horus::race::total_violations();
+      if (now > *last) {
+        std::cout << "seed " << seed << ": " << (now - *last)
+                  << " ownership violation(s)\n";
+        *last = now;
       }
     };
   }
@@ -325,6 +356,13 @@ int main(int argc, char** argv) {
   std::cout << "horus-check: stack " << scn.stack << ", " << total.runs
             << " seed(s), oracles " << oracles_to_string(total.oracles)
             << ": " << (total.ok() ? "all passed" : "FAILED") << "\n";
+  if (check_races) {
+    std::cout << horus::race::summary();
+    if (horus::race::total_violations() > 0 && total.ok()) {
+      // Ownership violations fail the run even when every oracle passed.
+      return 1;
+    }
+  }
   if (total.ok()) return 0;
 
   std::cout << "first failing seed: " << *total.first_failing_seed << "\n";

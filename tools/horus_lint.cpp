@@ -13,6 +13,10 @@
 //                         old stack provides -- the endpoint's default)
 //   --werror              treat warnings as errors
 //   --quiet               print only failing specs
+//   --json                emit one JSON array of lint reports (see
+//                         LintReport::to_json) instead of prose; CI feeds
+//                         this to scripts/lint_annotations.py to produce
+//                         GitHub ::error annotations
 //   --list-layers         print the registered layers (with their
 //                         batch_safe and up_emits contract flags) and exit
 //
@@ -39,7 +43,7 @@ namespace {
 
 int usage() {
   std::cerr << "usage: horus-lint [--network=P1,P2,...] [--require=P1,...] "
-               "[--werror] [--quiet] [--list-layers] SPEC... | - | "
+               "[--werror] [--quiet] [--json] [--list-layers] SPEC... | - | "
                "--diff OLD_SPEC NEW_SPEC\n";
   return 2;
 }
@@ -149,6 +153,7 @@ int main(int argc, char** argv) {
   bool have_required = false;
   bool werror = false;
   bool quiet = false;
+  bool json = false;
   bool from_stdin = false;
   bool diff = false;
   std::vector<std::string> specs;
@@ -166,6 +171,8 @@ int main(int argc, char** argv) {
       werror = true;
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--json") {
+      json = true;
     } else if (arg == "--list-layers") {
       list_layers();
       return 0;
@@ -190,11 +197,22 @@ int main(int argc, char** argv) {
   if (specs.empty()) return usage();
 
   bool failed = false;
+  bool first = true;
+  if (json) std::cout << "[";
   for (const std::string& spec : specs) {
     horus::analysis::LintReport rep = horus::analysis::lint_spec(spec, network);
     bool bad = !rep.ok() || (werror && rep.warnings() > 0);
     failed = failed || bad;
-    if (!quiet || bad) std::cout << rep.to_string();
+    if (json) {
+      // JSON output is a complete machine-readable record: every report is
+      // emitted, --quiet notwithstanding, so the consumer sees clean specs.
+      if (!first) std::cout << ",";
+      std::cout << "\n" << rep.to_json();
+      first = false;
+    } else if (!quiet || bad) {
+      std::cout << rep.to_string();
+    }
   }
+  if (json) std::cout << "\n]\n";
   return failed ? 1 : 0;
 }
