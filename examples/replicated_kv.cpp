@@ -6,12 +6,24 @@
 // so replicas never diverge, even with concurrent writers, packet loss and
 // a replica crash in the middle. New replicas can join and catch up.
 //
-//   $ ./replicated_kv
+//   $ ./replicated_kv                      # simulated 3-replica run
+//
+// Multi-process mode: the same Replica code deployed over real UDP, one
+// process per replica (horus-net). Each process writes its own keys, all
+// apply the identical TOTAL order, and the digests printed at the end
+// match across processes:
+//
+//   $ ./replicated_kv --node=1 --book=book.txt &
+//   $ ./replicated_kv --node=2 --book=book.txt --contact=1 &
+//   $ ./replicated_kv --node=3 --book=book.txt --contact=1 &
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
 
 #include "horus/api/system.hpp"
+#include "horus/net/runtime.hpp"
 #include "horus/util/serialize.hpp"
 
 using namespace horus;
@@ -20,12 +32,15 @@ namespace {
 
 constexpr GroupId kStore{0x5707e};
 
-/// A replica: applies SET/DEL commands delivered by the group.
+constexpr const char* kSpec = "TOTAL:MBRSHIP:FRAG:NAK:COM";
+
+/// A replica: applies SET/DEL commands delivered by the group. The same
+/// class runs over the simulated network (sim main) and over real UDP
+/// (node-mode main): it only ever sees an Endpoint.
 class Replica {
  public:
-  Replica(HorusSystem& sys, std::string name)
-      : name_(std::move(name)),
-        ep_(&sys.create_endpoint("TOTAL:MBRSHIP:FRAG:NAK:COM")) {
+  Replica(Endpoint& ep, std::string name)
+      : name_(std::move(name)), ep_(&ep) {
     ep_->on_upcall([this](Group&, UpEvent& ev) {
       if (ev.type == UpType::kCast) apply(ev.msg.payload_bytes());
     });
@@ -83,14 +98,69 @@ class Replica {
   std::uint64_t applied_ = 0;
 };
 
+/// Real-network mode: one replica in this process, peers in others. Every
+/// process writes keys tagged with its own id; TOTAL arbitrates one global
+/// order, so after the run every process prints the same digest (the
+/// net_multiproc test asserts exactly that across three children).
+int run_node(std::uint64_t id, const std::string& book_path,
+             std::uint64_t contact, long run_ms) {
+  net::NodeConfig cfg;
+  cfg.spec = kSpec;
+  net::AddressBook book = net::AddressBook::load_file(book_path);
+  net::NodeRuntime node(book, Address{id}, cfg);
+  Replica self(node.endpoint(), "node" + std::to_string(id));
+
+  node.endpoint().join(kStore, Address{contact});
+  // Let the view settle, then race some writes against the other replicas.
+  node.run_for(std::chrono::milliseconds(run_ms / 4));
+  self.set("leader", self.name());
+  self.set("k" + std::to_string(id), "v" + std::to_string(id));
+  if (id % 2 == 0) self.del("k" + std::to_string(id - 1));
+  node.run_for(std::chrono::milliseconds(run_ms - run_ms / 4));
+  node.shutdown();
+
+  // Quiescent now (reactor stopped, executor drained): safe to read data.
+  std::printf("DIGEST id=%llu %s\n", static_cast<unsigned long long>(id),
+              self.digest().c_str());
+  std::fflush(stdout);
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::uint64_t node_id = 0;
+  std::uint64_t contact = 0;
+  std::string book;
+  long run_ms = 3000;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto val = [&] { return arg.substr(arg.find('=') + 1); };
+    if (arg.rfind("--node=", 0) == 0) node_id = std::strtoull(val().c_str(), nullptr, 0);
+    else if (arg.rfind("--book=", 0) == 0) book = val();
+    else if (arg.rfind("--contact=", 0) == 0) contact = std::strtoull(val().c_str(), nullptr, 0);
+    else if (arg.rfind("--run-ms=", 0) == 0) run_ms = std::strtol(val().c_str(), nullptr, 0);
+    else {
+      std::fprintf(stderr, "usage: replicated_kv [--node=ID --book=FILE [--contact=ID] [--run-ms=N]]\n");
+      return 2;
+    }
+  }
+  if (node_id != 0) {
+    try {
+      return run_node(node_id, book, contact, run_ms);
+    } catch (const std::exception& ex) {
+      std::fprintf(stderr, "replicated_kv: %s\n", ex.what());
+      return 1;
+    }
+  }
+
   HorusSystem::Options opts;
   opts.net.loss = 0.1;
   HorusSystem sys(opts);
 
-  Replica r1(sys, "r1"), r2(sys, "r2"), r3(sys, "r3");
+  Replica r1(sys.create_endpoint(kSpec), "r1");
+  Replica r2(sys.create_endpoint(kSpec), "r2");
+  Replica r3(sys.create_endpoint(kSpec), "r3");
   r1.bootstrap();
   sys.run_for(100 * sim::kMillisecond);
   r2.join_via(r1);

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Smoke test for the horus-node CLI: one bootstrap node over real loopback
+# UDP must install its singleton view, deliver its own casts (COM sends to
+# every view member, itself included, through the kernel) and exit 0.
+#
+# Usage: node_smoke.sh <path-to-horus-node>
+set -euo pipefail
+
+node="$1"
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT
+
+# Bind an ephemeral UDP socket, read the port back, release it. The tiny
+# window before horus-node rebinds it is acceptable for a loopback test.
+port=$(python3 -c '
+import socket
+s = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+s.bind(("127.0.0.1", 0))
+print(s.getsockname()[1])
+s.close()')
+
+echo "1 127.0.0.1:${port}" > "${dir}/book.txt"
+
+out=$("$node" --id=1 --book="${dir}/book.txt" \
+      --casts=5 --cast-start-ms=200 --cast-gap-ms=10 --run-ms=1500)
+echo "$out"
+
+echo "$out" | grep -q '^RESULT id=1 ' || { echo "FAIL: no RESULT line"; exit 1; }
+delivered=$(echo "$out" | sed -n 's/^RESULT.* delivered=\([0-9]*\).*/\1/p')
+if [ "$delivered" != "5" ]; then
+  echo "FAIL: expected 5 self-delivered casts, got '${delivered}'"
+  exit 1
+fi
+echo "$out" | grep -q ' view=1 ' || { echo "FAIL: singleton view not installed"; exit 1; }
+echo "node smoke OK (port ${port})"

@@ -2,6 +2,8 @@
 #pragma once
 
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "horus/core/endpoint.hpp"
 #include "horus/sim/network.hpp"
@@ -16,6 +18,20 @@ class SimTransport final : public Transport {
 
   void send(Address src, Address dst, ByteSpan datagram) override {
     net_->send(src.id, dst.id, datagram);
+  }
+
+  /// One network call for the whole fan-out, so the simulated wire stays
+  /// behaviorally aligned with the real UDP sendmmsg path (same fault
+  /// decision indices as a per-destination loop; one buffer copy shared
+  /// by all clean deliveries). thread_local scratch: one SimTransport is
+  /// shared by every shard thread, so a member vector would race.
+  void send_batch(Address src, std::span<const Address> dsts,
+                  ByteSpan datagram) override {
+    thread_local std::vector<sim::NodeId> ids;
+    ids.clear();
+    ids.reserve(dsts.size());
+    for (const Address& d : dsts) ids.push_back(d.id);
+    net_->send_multi(src.id, ids, datagram);
   }
 
   /// Register an endpoint's receive path with the network. Zero-copy: the

@@ -360,6 +360,24 @@ void Stack::transport_send_raw(Address dst, ByteSpan wire,
   transport_.send(address(), dst, wire);
 }
 
+void Stack::transport_send_raw_batch(std::span<const Address> dests,
+                                     ByteSpan wire, std::size_t payload_size) {
+  if (dests.empty()) return;
+  if (dests.size() == 1) {
+    transport_send_raw(dests[0], wire, payload_size);
+    return;
+  }
+  const auto n = static_cast<std::uint64_t>(dests.size());
+  stats_.datagrams_sent.fetch_add(n, std::memory_order_relaxed);
+  stats_.wire_bytes_sent.fetch_add(n * wire.size(), std::memory_order_relaxed);
+  stats_.payload_bytes_sent.fetch_add(n * payload_size,
+                                      std::memory_order_relaxed);
+  stats_.header_bytes_sent.fetch_add(n * (wire.size() - payload_size),
+                                     std::memory_order_relaxed);
+  msg_path_stats().batch_sends.fetch_add(1, std::memory_order_relaxed);
+  transport_.send_batch(address(), dests, wire);
+}
+
 void Stack::push_header(Message& m, const Layer& layer,
                         std::span<const std::uint64_t> fields, ByteSpan var) {
   if (monitor_ != nullptr) monitor_->on_push_header(layer, m);

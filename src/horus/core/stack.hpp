@@ -111,6 +111,17 @@ class Transport {
  public:
   virtual ~Transport() = default;
   virtual void send(Address src, Address dst, ByteSpan datagram) = 0;
+
+  /// One datagram to many destinations (the multicast fan-out COM performs
+  /// for every cast). Default: a send() loop, so simple transports need
+  /// only the unary hook. Real transports override it to reach the kernel
+  /// in one syscall (sendmmsg); the simulated network overrides it to make
+  /// all fault decisions under one lock acquisition. Overrides must behave
+  /// exactly like the loop: same per-destination outcomes, in `dsts` order.
+  virtual void send_batch(Address src, std::span<const Address> dsts,
+                          ByteSpan datagram) {
+    for (const Address& dst : dsts) send(src, dst, datagram);
+  }
 };
 
 /// Counters for benches and tests. Atomics: under a ShardedExecutor every
@@ -223,6 +234,13 @@ class Stack {
   /// trailers serialize themselves); `wire` must already begin with the
   /// group-id prefix. `payload_size` is for stats only.
   void transport_send_raw(Address dst, ByteSpan wire, std::size_t payload_size);
+
+  /// Fan one serialized datagram out to several destinations through
+  /// Transport::send_batch, so a whole-view multicast reaches the wire as
+  /// one call (one syscall on a real transport). Counters advance exactly
+  /// as if transport_send_raw ran once per destination.
+  void transport_send_raw_batch(std::span<const Address> dests, ByteSpan wire,
+                                std::size_t payload_size);
 
   // -- header codec services --------------------------------------------------
 

@@ -79,9 +79,7 @@ void Com::transmit(Group& g, Message& msg,
             static_cast<std::uint8_t>(crc >> (8 * i));
       }
     }
-    for (const Address& dst : dests) {
-      stack().transport_send_raw(dst, frame, payload);
-    }
+    stack().transport_send_raw_batch(dests, frame, payload);
     return;
   }
   // Gather path: chunked messages (mid-stack control traffic, oversize
@@ -98,9 +96,7 @@ void Com::transmit(Group& g, Message& msg,
       wire.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
     }
   }
-  for (const Address& dst : dests) {
-    stack().transport_send_raw(dst, wire, payload);
-  }
+  stack().transport_send_raw_batch(dests, wire, payload);
 }
 
 void Com::up(Group& g, UpEvent& ev) { pass_up(g, ev); }

@@ -1,0 +1,219 @@
+#include "horus/net/address_book.hpp"
+
+#include <arpa/inet.h>
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace horus::net {
+namespace {
+
+[[noreturn]] void bad_line(std::size_t line_no, const std::string& line,
+                           const std::string& why) {
+  throw std::invalid_argument("address book line " + std::to_string(line_no) +
+                              ": " + why + " in \"" + line + "\"");
+}
+
+/// Strip a trailing "# comment" and surrounding whitespace.
+std::string clean(std::string s) {
+  if (auto hash = s.find('#'); hash != std::string::npos) s.erase(hash);
+  auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return {};
+  auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  out = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    std::uint64_t next = out * 10 + static_cast<std::uint64_t>(c - '0');
+    if (next < out) return false;  // overflow
+    out = next;
+  }
+  return true;
+}
+
+/// Split "<ip>:<port>" / "[<ipv6>]:<port>" and resolve with inet_pton.
+/// Returns an error message, or empty on success.
+std::string resolve(const std::string& hostport, PeerEntry& e) {
+  std::string host;
+  std::string port_str;
+  if (!hostport.empty() && hostport.front() == '[') {
+    auto close = hostport.find(']');
+    if (close == std::string::npos) return "unterminated '[' in address";
+    host = hostport.substr(1, close - 1);
+    if (close + 1 >= hostport.size() || hostport[close + 1] != ':') {
+      return "expected ':' after ']'";
+    }
+    port_str = hostport.substr(close + 2);
+  } else {
+    auto colon = hostport.rfind(':');
+    if (colon == std::string::npos) return "expected <ip>:<port>";
+    host = hostport.substr(0, colon);
+    port_str = hostport.substr(colon + 1);
+    // A bare IPv6 address has more than one ':'; require brackets so the
+    // port boundary is unambiguous.
+    if (host.find(':') != std::string::npos) {
+      return "IPv6 addresses must be written [addr]:port";
+    }
+  }
+  std::uint64_t port = 0;
+  if (!parse_u64(port_str, port) || port == 0 || port > 65535) {
+    return "bad port \"" + port_str + "\" (want 1..65535)";
+  }
+  std::memset(&e.sa, 0, sizeof(e.sa));
+  if (auto* v4 = reinterpret_cast<sockaddr_in*>(&e.sa);
+      inet_pton(AF_INET, host.c_str(), &v4->sin_addr) == 1) {
+    v4->sin_family = AF_INET;
+    v4->sin_port = htons(static_cast<std::uint16_t>(port));
+    e.sa_len = sizeof(sockaddr_in);
+  } else if (auto* v6 = reinterpret_cast<sockaddr_in6*>(&e.sa);
+             inet_pton(AF_INET6, host.c_str(), &v6->sin6_addr) == 1) {
+    v6->sin6_family = AF_INET6;
+    v6->sin6_port = htons(static_cast<std::uint16_t>(port));
+    e.sa_len = sizeof(sockaddr_in6);
+  } else {
+    return "unparseable ip \"" + host + "\" (numeric IPv4/IPv6 only, no DNS)";
+  }
+  e.host = host;
+  e.port = static_cast<std::uint16_t>(port);
+  return {};
+}
+
+}  // namespace
+
+std::string AddressBook::sock_key(const sockaddr* sa, socklen_t len) {
+  std::string key;
+  if (sa->sa_family == AF_INET && len >= socklen_t{sizeof(sockaddr_in)}) {
+    const auto* v4 = reinterpret_cast<const sockaddr_in*>(sa);
+    key.push_back('4');
+    key.append(reinterpret_cast<const char*>(&v4->sin_port),
+               sizeof(v4->sin_port));
+    key.append(reinterpret_cast<const char*>(&v4->sin_addr),
+               sizeof(v4->sin_addr));
+  } else if (sa->sa_family == AF_INET6 &&
+             len >= socklen_t{sizeof(sockaddr_in6)}) {
+    const auto* v6 = reinterpret_cast<const sockaddr_in6*>(sa);
+    key.push_back('6');
+    key.append(reinterpret_cast<const char*>(&v6->sin6_port),
+               sizeof(v6->sin6_port));
+    key.append(reinterpret_cast<const char*>(&v6->sin6_addr),
+               sizeof(v6->sin6_addr));
+  }
+  return key;  // empty for families the book never stores: lookup misses
+}
+
+void AddressBook::add(Address addr, const std::string& hostport) {
+  if (!addr.valid()) {
+    throw std::invalid_argument("address book: id 0 is not a valid address");
+  }
+  PeerEntry e;
+  e.addr = addr;
+  if (std::string err = resolve(hostport, e); !err.empty()) {
+    throw std::invalid_argument("address book: " + err + " for id " +
+                                std::to_string(addr.id));
+  }
+  if (entries_.contains(addr.id)) {
+    throw std::invalid_argument("address book: duplicate id " +
+                                std::to_string(addr.id));
+  }
+  std::string key = sock_key(reinterpret_cast<const sockaddr*>(&e.sa),
+                             e.sa_len);
+  if (auto it = by_sock_.find(key); it != by_sock_.end()) {
+    throw std::invalid_argument(
+        "address book: ids " + std::to_string(it->second) + " and " +
+        std::to_string(addr.id) + " share socket address " + e.host + ":" +
+        std::to_string(e.port));
+  }
+  by_sock_.emplace(std::move(key), addr.id);
+  order_.push_back(addr.id);
+  entries_.emplace(addr.id, std::move(e));
+}
+
+AddressBook AddressBook::parse(const std::string& text) {
+  AddressBook book;
+  std::istringstream in(text);
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string line = clean(raw);
+    if (line.empty()) continue;
+    auto space = line.find_first_of(" \t");
+    if (space == std::string::npos) {
+      bad_line(line_no, raw, "expected \"<id> <ip>:<port>\"");
+    }
+    std::string id_str = line.substr(0, space);
+    auto rest_begin = line.find_first_not_of(" \t", space);
+    std::string hostport =
+        rest_begin == std::string::npos ? "" : line.substr(rest_begin);
+    if (hostport.find_first_of(" \t") != std::string::npos) {
+      bad_line(line_no, raw, "trailing tokens after address");
+    }
+    std::uint64_t id = 0;
+    if (!parse_u64(id_str, id)) {
+      bad_line(line_no, raw, "bad id \"" + id_str + "\"");
+    }
+    try {
+      book.add(Address{id}, hostport);
+    } catch (const std::invalid_argument& ex) {
+      bad_line(line_no, raw, ex.what());
+    }
+  }
+  return book;
+}
+
+AddressBook AddressBook::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("address book: cannot read " + path);
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse(text.str());
+}
+
+const PeerEntry* AddressBook::find(Address addr) const {
+  auto it = entries_.find(addr.id);
+  return it != entries_.end() ? &it->second : nullptr;
+}
+
+const PeerEntry* AddressBook::find_sender(const sockaddr* sa,
+                                          socklen_t len) const {
+  std::string key = sock_key(sa, len);
+  if (key.empty()) return nullptr;
+  auto it = by_sock_.find(key);
+  if (it == by_sock_.end()) return nullptr;
+  return &entries_.at(it->second);
+}
+
+std::vector<Address> AddressBook::members() const {
+  std::vector<Address> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, e] : entries_) out.push_back(Address{id});
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string AddressBook::to_string() const {
+  std::string out;
+  for (std::uint64_t id : order_) {
+    const PeerEntry& e = entries_.at(id);
+    out += std::to_string(id);
+    out += ' ';
+    if (e.sa.ss_family == AF_INET6) out += '[';
+    out += e.host;
+    if (e.sa.ss_family == AF_INET6) out += ']';
+    out += ':';
+    out += std::to_string(e.port);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace horus::net

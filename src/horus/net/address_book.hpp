@@ -1,0 +1,87 @@
+// AddressBook: the deployment-time mapping between Horus addresses (the
+// opaque 64-bit endpoint ids every layer speaks) and UDP socket addresses.
+//
+// The paper runs COM over "a low-level network of choice"; horus-net's
+// choice is UDP, and this book is the only place the two address spaces
+// meet. It is loaded once at node start from a small text file shared by
+// every member of the deployment:
+//
+//     # horus address book: <id> <ip>:<port>
+//     1 127.0.0.1:7001
+//     2 127.0.0.1:7002
+//     3 [::1]:7003        # IPv6 in brackets
+//
+// Only numeric IPs are accepted (no DNS): resolution is deterministic,
+// never blocks the caller, and a typo fails at load time with a line
+// number instead of at first send.
+#pragma once
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "horus/core/types.hpp"
+
+namespace horus::net {
+
+/// One row of the book: a Horus endpoint and where its UDP socket lives.
+struct PeerEntry {
+  Address addr;            ///< Horus endpoint id (never 0)
+  std::string host;        ///< textual ip as written (for errors and dumps)
+  std::uint16_t port = 0;  ///< UDP port, host byte order
+  sockaddr_storage sa{};   ///< resolved socket address (AF_INET or AF_INET6)
+  socklen_t sa_len = 0;
+};
+
+class AddressBook {
+ public:
+  /// Parse book text. Throws std::invalid_argument naming the offending
+  /// line for: malformed lines, bad ids (non-numeric, zero), unparseable
+  /// IPs, bad ports (non-numeric, zero), duplicate ids and duplicate
+  /// ip:port pairs.
+  static AddressBook parse(const std::string& text);
+
+  /// Load and parse a book file. Throws std::runtime_error if the file
+  /// cannot be read; parse errors as in parse().
+  static AddressBook load_file(const std::string& path);
+
+  /// Add one entry programmatically ("<ip>:<port>" / "[<ipv6>]:<port>").
+  /// Same validation and exceptions as parse().
+  void add(Address addr, const std::string& hostport);
+
+  /// Tx lookup: where does this Horus address live? Null if unknown.
+  [[nodiscard]] const PeerEntry* find(Address addr) const;
+
+  /// Rx lookup: which Horus address sent from this socket address? Null if
+  /// the (ip, port) pair is not in the book (an unknown peer).
+  [[nodiscard]] const PeerEntry* find_sender(const sockaddr* sa,
+                                             socklen_t len) const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool contains(Address addr) const {
+    return find(addr) != nullptr;
+  }
+
+  /// All registered addresses, sorted by id (a natural member list for
+  /// bootstrap: lowest id is the conventional contact).
+  [[nodiscard]] std::vector<Address> members() const;
+
+  /// The book rendered back into its file format (dumps, tests).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  // Rx lookups key on the wire-visible identity of a sender: family, port
+  // and raw ip bytes, packed into a string. Cheap to build from a
+  // recvmmsg source address and collision-free by construction.
+  static std::string sock_key(const sockaddr* sa, socklen_t len);
+
+  std::unordered_map<std::uint64_t, PeerEntry> entries_;
+  std::unordered_map<std::string, std::uint64_t> by_sock_;
+  std::vector<std::uint64_t> order_;  // insertion order, for to_string()
+};
+
+}  // namespace horus::net

@@ -1,0 +1,98 @@
+#include "horus/net/runtime.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "horus/analysis/lint.hpp"
+#include "horus/layers/registry.hpp"
+#include "horus/properties/algebra.hpp"
+#include "horus/runtime/executor.hpp"
+
+namespace horus::net {
+namespace {
+
+props::PropertySet wire_properties() {
+  // UDP gives exactly what SimNetwork models: best-effort datagrams (P1).
+  return props::make_set({props::Property::kBestEffort});
+}
+
+std::vector<std::unique_ptr<Layer>> build_layers(const std::string& spec,
+                                                 bool validate) {
+  if (validate) {
+    analysis::LintReport rep = analysis::lint_spec(spec, wire_properties());
+    if (!rep.ok()) {
+      throw std::invalid_argument("ill-formed stack spec " + spec + "\n" +
+                                  rep.to_string());
+    }
+  }
+  return layers::make_stack(spec);
+}
+
+}  // namespace
+
+NodeRuntime::NodeRuntime(const AddressBook& book, Address self,
+                         NodeConfig cfg)
+    : book_(book),
+      self_(self),
+      cfg_(std::move(cfg)),
+      udp_(book_, self_, cfg_.udp),
+      driver_(sched_, cfg_.time_factor) {
+  // FRAG must target what the socket will carry, not its own default.
+  cfg_.stack.mtu = cfg_.udp.mtu;
+  Transport* wire = &udp_;
+  if (cfg_.enable_fault_shim) {
+    shim_ = std::make_unique<FaultShimTransport>(udp_, cfg_.faults, &sched_);
+    wire = shim_.get();
+  }
+  auto exec = std::make_unique<runtime::ShardedExecutor>(
+      cfg_.shards > 0 ? cfg_.shards : 1);
+  endpoint_ = std::make_unique<Endpoint>(
+      self_, cfg_.stack, build_layers(cfg_.spec, cfg_.validate_stacks),
+      wire_properties(), *wire, sched_, std::move(exec));
+  // Live reconfiguration needs the same spec->layers construction.
+  const bool validate = cfg_.validate_stacks;
+  endpoint_->set_layer_factory([validate](const std::string& spec) {
+    return build_layers(spec, validate);
+  });
+  driver_.add_executor(endpoint_->executor());
+  udp_.bind(*endpoint_);
+}
+
+NodeRuntime::~NodeRuntime() { shutdown(); }
+
+std::size_t NodeRuntime::run_for(std::chrono::milliseconds d) {
+  return driver_.run_for(d);
+}
+
+void NodeRuntime::shutdown() {
+  if (down_) return;
+  down_ = true;
+  // Order matters: stop the reactor (no new deliveries arrive), then let
+  // the executor finish what was already posted, so no task runs while
+  // the endpoint is torn down underneath it.
+  udp_.stop();
+  endpoint_->executor().drain();
+}
+
+std::string NodeRuntime::stats_summary() const {
+  const UdpStats& s = udp_.stats();
+  auto v = [](const std::atomic<std::uint64_t>& c) {
+    return std::to_string(c.load(std::memory_order_relaxed));
+  };
+  std::string out = "udp tx=" + v(s.tx_datagrams) + " (" + v(s.tx_bytes) +
+                    "B, " + v(s.tx_batches) + " batches) rx=" +
+                    v(s.rx_datagrams) + " (" + v(s.rx_bytes) + "B) drops[" +
+                    "oversize=" + v(s.tx_oversize_dropped) +
+                    " unroutable=" + v(s.tx_unroutable) +
+                    " full=" + v(s.tx_full_dropped) +
+                    " truncated=" + v(s.rx_truncated) +
+                    " unknown=" + v(s.rx_unknown_peer) + "]";
+  if (shim_ != nullptr) {
+    const FaultShimStats& f = shim_->stats();
+    out += " shim[fwd=" + v(f.forwarded) + " drop=" + v(f.dropped) +
+           " dup=" + v(f.duplicated) + " delay=" + v(f.delayed) + "]";
+  }
+  return out;
+}
+
+}  // namespace horus::net

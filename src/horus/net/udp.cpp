@@ -1,0 +1,330 @@
+#include "horus/net/udp.hpp"
+
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+#include <vector>
+
+#include "horus/util/log.hpp"
+
+namespace horus::net {
+namespace {
+
+[[noreturn]] void sys_fail(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+void close_if(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+UdpTransport::UdpTransport(const AddressBook& book, Address self,
+                           UdpConfig cfg)
+    : book_(book), self_(self), cfg_(cfg) {
+  const PeerEntry* me = book_.find(self);
+  if (me == nullptr) {
+    throw std::invalid_argument(
+        "udp: address book has no entry for local id " +
+        std::to_string(self.id) + " (a node must be able to find itself)");
+  }
+  if (cfg_.rx_batch == 0 || cfg_.tx_batch == 0) {
+    throw std::invalid_argument("udp: rx_batch/tx_batch must be >= 1");
+  }
+  fd_ = ::socket(me->sa.ss_family, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                 0);
+  if (fd_ < 0) sys_fail("udp: socket");
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (cfg_.so_rcvbuf > 0) {
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &cfg_.so_rcvbuf,
+                 sizeof(cfg_.so_rcvbuf));
+  }
+  if (cfg_.so_sndbuf > 0) {
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDBUF, &cfg_.so_sndbuf,
+                 sizeof(cfg_.so_sndbuf));
+  }
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&me->sa), me->sa_len) <
+      0) {
+    int saved = errno;
+    close_if(fd_);
+    errno = saved;
+    sys_fail("udp: bind");
+  }
+  sockaddr_storage bound{};
+  socklen_t blen = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &blen) == 0) {
+    if (bound.ss_family == AF_INET) {
+      local_port_ =
+          ntohs(reinterpret_cast<const sockaddr_in*>(&bound)->sin_port);
+    } else if (bound.ss_family == AF_INET6) {
+      local_port_ =
+          ntohs(reinterpret_cast<const sockaddr_in6*>(&bound)->sin6_port);
+    }
+  }
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) sys_fail("udp: eventfd");
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) sys_fail("udp: epoll_create1");
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd_, &ev) < 0) {
+    sys_fail("udp: epoll_ctl(socket)");
+  }
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
+    sys_fail("udp: epoll_ctl(eventfd)");
+  }
+}
+
+UdpTransport::~UdpTransport() {
+  stop();
+  close_if(epoll_fd_);
+  close_if(wake_fd_);
+  close_if(fd_);
+}
+
+void UdpTransport::bind(Endpoint& ep) {
+  if (endpoint_ != nullptr) {
+    throw std::logic_error("udp: transport already bound to an endpoint");
+  }
+  if (ep.address() != self_) {
+    throw std::invalid_argument(
+        "udp: endpoint address " + std::to_string(ep.address().id) +
+        " does not match transport's local id " + std::to_string(self_.id));
+  }
+  endpoint_ = &ep;
+  running_.store(true, std::memory_order_release);
+  reactor_ = std::thread([this] { reactor(); });
+}
+
+void UdpTransport::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    if (reactor_.joinable()) reactor_.join();
+    return;
+  }
+  std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  if (reactor_.joinable()) reactor_.join();
+}
+
+bool UdpTransport::send_one(const PeerEntry& peer, ByteSpan datagram) {
+  for (;;) {
+    ssize_t n = ::sendto(fd_, datagram.data(), datagram.size(), 0,
+                         reinterpret_cast<const sockaddr*>(&peer.sa),
+                         peer.sa_len);
+    if (n >= 0) {
+      stats_.tx_datagrams.fetch_add(1, std::memory_order_relaxed);
+      stats_.tx_bytes.fetch_add(datagram.size(), std::memory_order_relaxed);
+      return true;
+    }
+    if (errno == EINTR) continue;
+    if (errno != EAGAIN && errno != EWOULDBLOCK) {
+      // Hard error (e.g. ICMP-reported unreachable): best-effort drop. The
+      // stack's NAK layer recovers if the peer is actually alive.
+      stats_.tx_full_dropped.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    stats_.tx_eagain_retries.fetch_add(1, std::memory_order_relaxed);
+    pollfd pfd{fd_, POLLOUT, 0};
+    int r = ::poll(&pfd, 1, cfg_.full_sock_wait_ms);
+    if (r <= 0) {
+      // Buffer stayed full for the whole grace period: drop (P1 permits
+      // it, and blocking the executor shard would be worse).
+      stats_.tx_full_dropped.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+  }
+}
+
+void UdpTransport::send(Address /*src*/, Address dst, ByteSpan datagram) {
+  if (datagram.size() > cfg_.mtu) {
+    stats_.tx_oversize_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const PeerEntry* peer = book_.find(dst);
+  if (peer == nullptr) {
+    stats_.tx_unroutable.fetch_add(1, std::memory_order_relaxed);
+    HLOG_DEBUG("UDP") << "unroutable destination " << dst.id;
+    return;
+  }
+  send_one(*peer, datagram);
+}
+
+void UdpTransport::send_batch(Address /*src*/, std::span<const Address> dsts,
+                              ByteSpan datagram) {
+  if (datagram.size() > cfg_.mtu) {
+    stats_.tx_oversize_dropped.fetch_add(dsts.size(),
+                                         std::memory_order_relaxed);
+    return;
+  }
+  // Route everything first; the syscall batches then contain only
+  // sendable destinations.
+  thread_local std::vector<const PeerEntry*> peers;
+  peers.clear();
+  peers.reserve(dsts.size());
+  for (const Address& dst : dsts) {
+    const PeerEntry* peer = book_.find(dst);
+    if (peer == nullptr) {
+      stats_.tx_unroutable.fetch_add(1, std::memory_order_relaxed);
+      HLOG_DEBUG("UDP") << "unroutable destination " << dst.id;
+      continue;
+    }
+    peers.push_back(peer);
+  }
+  if (peers.empty()) return;
+  if (peers.size() == 1) {
+    send_one(*peers[0], datagram);
+    return;
+  }
+  // One iovec shared by every message: the same bytes go to each
+  // destination (sendmmsg never writes through msg_iov).
+  iovec iov{const_cast<std::uint8_t*>(datagram.data()), datagram.size()};
+  std::vector<mmsghdr> msgs(std::min<std::size_t>(peers.size(),
+                                                  cfg_.tx_batch));
+  std::size_t next = 0;
+  while (next < peers.size()) {
+    std::size_t n = std::min<std::size_t>(peers.size() - next, msgs.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      mmsghdr& m = msgs[i];
+      std::memset(&m, 0, sizeof(m));
+      m.msg_hdr.msg_name =
+          const_cast<sockaddr_storage*>(&peers[next + i]->sa);
+      m.msg_hdr.msg_namelen = peers[next + i]->sa_len;
+      m.msg_hdr.msg_iov = &iov;
+      m.msg_hdr.msg_iovlen = 1;
+    }
+    int sent = ::sendmmsg(fd_, msgs.data(), static_cast<unsigned>(n), 0);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        stats_.tx_eagain_retries.fetch_add(1, std::memory_order_relaxed);
+        pollfd pfd{fd_, POLLOUT, 0};
+        if (::poll(&pfd, 1, cfg_.full_sock_wait_ms) > 0) continue;
+      }
+      // Grace period expired (or hard error): drop the rest best-effort.
+      stats_.tx_full_dropped.fetch_add(peers.size() - next,
+                                       std::memory_order_relaxed);
+      return;
+    }
+    stats_.tx_batches.fetch_add(1, std::memory_order_relaxed);
+    stats_.tx_datagrams.fetch_add(static_cast<std::uint64_t>(sent),
+                                  std::memory_order_relaxed);
+    stats_.tx_bytes.fetch_add(static_cast<std::uint64_t>(sent) *
+                                  datagram.size(),
+                              std::memory_order_relaxed);
+    next += static_cast<std::size_t>(sent);
+  }
+}
+
+void UdpTransport::read_burst() {
+  const unsigned batch = cfg_.rx_batch;
+  // Persistent receive slots (reactor-thread-only): the kernel writes each
+  // datagram straight into the Bytes that will be delivered; only slots
+  // actually consumed are re-allocated.
+  thread_local std::vector<Bytes> bufs;
+  if (bufs.size() != batch) {
+    bufs.assign(batch, Bytes());
+  }
+  std::vector<mmsghdr> msgs(batch);
+  std::vector<iovec> iovs(batch);
+  std::vector<sockaddr_storage> srcs(batch);
+  struct Arrival {
+    Address src;
+    std::shared_ptr<const Bytes> data;
+  };
+  std::vector<Arrival> arrivals;
+  for (;;) {
+    for (unsigned i = 0; i < batch; ++i) {
+      if (bufs[i].size() != cfg_.mtu) bufs[i].resize(cfg_.mtu);
+      iovs[i] = {bufs[i].data(), bufs[i].size()};
+      std::memset(&msgs[i], 0, sizeof(msgs[i]));
+      msgs[i].msg_hdr.msg_name = &srcs[i];
+      msgs[i].msg_hdr.msg_namelen = sizeof(srcs[i]);
+      msgs[i].msg_hdr.msg_iov = &iovs[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+    }
+    int got = ::recvmmsg(fd_, msgs.data(), batch, MSG_DONTWAIT, nullptr);
+    if (got <= 0) break;  // EAGAIN: socket drained (or transient error)
+    arrivals.clear();
+    for (int i = 0; i < got; ++i) {
+      if ((msgs[i].msg_hdr.msg_flags & MSG_TRUNC) != 0) {
+        // Bigger than our MTU-sized buffer: the tail is already lost, so
+        // the whole datagram is dropped (FRAG on the sender prevents this
+        // between well-configured nodes).
+        stats_.rx_truncated.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      const PeerEntry* sender = book_.find_sender(
+          reinterpret_cast<const sockaddr*>(&srcs[i]),
+          msgs[i].msg_hdr.msg_namelen);
+      if (sender == nullptr) {
+        // Not in the book: nothing downstream can authenticate or route a
+        // reply, so the bytes never reach protocol code.
+        stats_.rx_unknown_peer.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      std::size_t len = msgs[i].msg_len;
+      stats_.rx_datagrams.fetch_add(1, std::memory_order_relaxed);
+      stats_.rx_bytes.fetch_add(len, std::memory_order_relaxed);
+      Bytes buf = std::move(bufs[i]);
+      buf.resize(len);  // shrink: no reallocation, no copy
+      arrivals.push_back(
+          {sender->addr, std::make_shared<const Bytes>(std::move(buf))});
+    }
+    // Hand consecutive same-sender runs to the endpoint as one batch
+    // (one executor enqueue per run); order within the burst is preserved.
+    std::size_t i = 0;
+    while (i < arrivals.size()) {
+      std::size_t j = i + 1;
+      while (j < arrivals.size() && arrivals[j].src == arrivals[i].src) ++j;
+      if (j - i == 1) {
+        endpoint_->deliver_datagram(arrivals[i].src,
+                                    std::move(arrivals[i].data));
+      } else {
+        std::vector<std::shared_ptr<const Bytes>> run;
+        run.reserve(j - i);
+        for (std::size_t k = i; k < j; ++k) {
+          run.push_back(std::move(arrivals[k].data));
+        }
+        endpoint_->deliver_datagrams(arrivals[i].src, std::move(run));
+      }
+      i = j;
+    }
+    if (static_cast<unsigned>(got) < batch) break;  // drained in one gulp
+  }
+}
+
+void UdpTransport::reactor() {
+  epoll_event events[8];
+  while (running_.load(std::memory_order_acquire)) {
+    int n = ::epoll_wait(epoll_fd_, events, 8, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll itself failed: nothing sane left to do
+    }
+    for (int i = 0; i < n; ++i) {
+      if (events[i].data.fd == wake_fd_) {
+        std::uint64_t tok = 0;
+        [[maybe_unused]] ssize_t r = ::read(wake_fd_, &tok, sizeof(tok));
+        continue;  // running_ is re-checked by the loop condition
+      }
+      stats_.rx_wakeups.fetch_add(1, std::memory_order_relaxed);
+      read_burst();
+    }
+  }
+}
+
+}  // namespace horus::net

@@ -1,0 +1,147 @@
+// UdpTransport: the real wire. Implements the Transport interface the
+// protocol stacks send through -- the same interface SimTransport
+// implements over the simulated network -- on top of a non-blocking UDP
+// socket, so a stack built and verified in the simulator deploys onto a
+// real network unchanged (the paper's COM "over a low-level network of
+// choice").
+//
+// Architecture:
+//
+//   * Tx happens on whatever thread calls send()/send_batch() (executor
+//     shards, timers, the application). The socket is non-blocking and
+//     sendto/sendmmsg on one fd are kernel-serialized, so no user lock is
+//     needed; a full socket buffer is absorbed by a short poll(POLLOUT)
+//     retry loop (counted) before the datagram is dropped best-effort.
+//     Multi-destination fan-out (the COM broadcast path) goes through
+//     sendmmsg: one syscall per tx_batch destinations.
+//
+//   * Rx is a dedicated reactor thread: epoll over the socket and an
+//     eventfd (shutdown wake). Each wakeup drains the socket with
+//     recvmmsg into pre-sized Bytes buffers that become the zero-copy
+//     delivery buffers themselves -- the kernel writes straight into the
+//     allocation that deliver_datagrams() hands to the stack, so a
+//     datagram is copied exactly once (NIC -> buffer), matching
+//     SimNetwork's one-copy discipline. Source addresses resolve to Horus
+//     addresses through the AddressBook; unknown senders are counted and
+//     dropped before any stack code sees the bytes.
+//
+// Threading contract: the reactor thread calls Endpoint::deliver_datagrams,
+// which posts tasks onto the endpoint's executor. The bound endpoint MUST
+// run a thread-safe executor (runtime::ShardedExecutor); the default
+// GroupExecutor drains on the calling thread and would run protocol code on
+// the reactor. NodeRuntime (net/runtime.hpp) wires this correctly.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <thread>
+
+#include "horus/core/endpoint.hpp"
+#include "horus/net/address_book.hpp"
+
+namespace horus::net {
+
+struct UdpConfig {
+  /// Largest datagram this transport will put on (or accept from) the
+  /// wire. Sends above it are dropped and counted -- the stack's FRAG
+  /// layer is supposed to make them impossible (plumb this same value
+  /// into StackConfig::mtu; NodeRuntime does).
+  std::size_t mtu = 1400;
+  /// Datagrams per recvmmsg / destinations per sendmmsg syscall.
+  unsigned rx_batch = 16;
+  unsigned tx_batch = 16;
+  /// How long a send will poll for POLLOUT when the socket buffer is full
+  /// before dropping (best-effort transport: drop, never block forever).
+  int full_sock_wait_ms = 50;
+  /// Kernel socket buffer sizes; 0 keeps the system default.
+  int so_rcvbuf = 1 << 20;
+  int so_sndbuf = 1 << 20;
+};
+
+/// Wire counters, mirroring sim::NetStats for the real transport. Atomics:
+/// tx arrives from every executor shard while the reactor counts rx.
+struct UdpStats {
+  std::atomic<std::uint64_t> tx_datagrams{0};
+  std::atomic<std::uint64_t> tx_bytes{0};
+  std::atomic<std::uint64_t> tx_batches{0};         ///< sendmmsg syscalls
+  std::atomic<std::uint64_t> tx_eagain_retries{0};  ///< POLLOUT waits
+  std::atomic<std::uint64_t> tx_oversize_dropped{0};///< send > mtu
+  std::atomic<std::uint64_t> tx_unroutable{0};      ///< dst not in the book
+  std::atomic<std::uint64_t> tx_full_dropped{0};    ///< buffer never drained, or hard send error
+  std::atomic<std::uint64_t> rx_datagrams{0};
+  std::atomic<std::uint64_t> rx_bytes{0};
+  std::atomic<std::uint64_t> rx_wakeups{0};         ///< epoll returns
+  std::atomic<std::uint64_t> rx_truncated{0};       ///< datagram > mtu (MSG_TRUNC)
+  std::atomic<std::uint64_t> rx_unknown_peer{0};    ///< sender not in the book
+
+  void reset() {
+    for (auto* c :
+         {&tx_datagrams, &tx_bytes, &tx_batches, &tx_eagain_retries,
+          &tx_oversize_dropped, &tx_unroutable, &tx_full_dropped,
+          &rx_datagrams, &rx_bytes, &rx_wakeups, &rx_truncated,
+          &rx_unknown_peer}) {
+      c->store(0, std::memory_order_relaxed);
+    }
+  }
+};
+
+class UdpTransport final : public Transport {
+ public:
+  /// Opens and binds the socket immediately (so construction fails fast on
+  /// a taken port). `self` must be in the book; its entry is the bind
+  /// address. Throws std::invalid_argument for book problems and
+  /// std::system_error for socket failures.
+  UdpTransport(const AddressBook& book, Address self, UdpConfig cfg = {});
+  ~UdpTransport() override;
+  UdpTransport(const UdpTransport&) = delete;
+  UdpTransport& operator=(const UdpTransport&) = delete;
+
+  // -- Transport --------------------------------------------------------------
+
+  void send(Address src, Address dst, ByteSpan datagram) override;
+  void send_batch(Address src, std::span<const Address> dsts,
+                  ByteSpan datagram) override;
+
+  // -- lifecycle --------------------------------------------------------------
+
+  /// Attach the endpoint whose stacks receive this socket's datagrams and
+  /// start the reactor thread. One endpoint per transport (one socket ==
+  /// one Horus address); binding twice throws.
+  void bind(Endpoint& ep);
+
+  /// Stop the reactor and join it. Idempotent; the destructor calls it.
+  /// After stop() no more deliveries are posted, which is the first step
+  /// of an orderly node shutdown (then drain the executor, then destroy
+  /// the endpoint).
+  void stop();
+
+  [[nodiscard]] Address self() const { return self_; }
+  [[nodiscard]] const UdpConfig& config() const { return cfg_; }
+  [[nodiscard]] const UdpStats& stats() const { return stats_; }
+  void reset_stats() { stats_.reset(); }
+  /// The port actually bound (== the book's entry for self).
+  [[nodiscard]] std::uint16_t local_port() const { return local_port_; }
+
+ private:
+  void reactor();
+  /// One routed, size-checked datagram onto the wire, with the EAGAIN
+  /// retry loop. Returns false only on a hard (non-EAGAIN) send error.
+  bool send_one(const PeerEntry& peer, ByteSpan datagram);
+  /// Drain the socket once with recvmmsg; deliver what arrived.
+  void read_burst();
+
+  AddressBook book_;  // copied: lookups happen on reactor + shard threads
+  Address self_;
+  UdpConfig cfg_;
+  int fd_ = -1;
+  int wake_fd_ = -1;   // eventfd: stop() pokes the reactor out of epoll
+  int epoll_fd_ = -1;
+  std::uint16_t local_port_ = 0;
+  Endpoint* endpoint_ = nullptr;
+  std::thread reactor_;
+  std::atomic<bool> running_{false};
+  UdpStats stats_;
+};
+
+}  // namespace horus::net

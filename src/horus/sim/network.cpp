@@ -87,48 +87,68 @@ const LinkParams& SimNetwork::params_for_locked(NodeId src, NodeId dst) const {
 }
 
 void SimNetwork::send(NodeId src, NodeId dst, ByteSpan data) {
-  stats_.sent.fetch_add(1, std::memory_order_relaxed);
-  stats_.bytes_sent.fetch_add(data.size(), std::memory_order_relaxed);
-  // One lock for the whole decision: link params, partition state and the
-  // fault decision must stay coherent (and decisions must be made in a
+  const NodeId one[1] = {dst};
+  send_multi(src, one, data);
+}
+
+void SimNetwork::send_multi(NodeId src, std::span<const NodeId> dsts,
+                            ByteSpan data) {
+  if (dsts.empty()) return;
+  stats_.sent.fetch_add(dsts.size(), std::memory_order_relaxed);
+  stats_.bytes_sent.fetch_add(dsts.size() * data.size(),
+                              std::memory_order_relaxed);
+  // One lock for the whole burst: link params, partition state and the
+  // fault decisions must stay coherent (and decisions must be made in a
   // fixed order, for determinism) even when many shards send at once.
+  // Decisions are consumed per destination in `dsts` order, so this is
+  // index-for-index identical to a send() loop.
   util::MutexLock lock(mu_);
-  const LinkParams& p = params_for_locked(src, dst);
-  if (data.size() > p.mtu) {
-    stats_.dropped_mtu.fetch_add(1, std::memory_order_relaxed);
-    return;
-  }
-  if (!can_reach_locked(src, dst)) {
-    stats_.dropped_partition.fetch_add(1, std::memory_order_relaxed);
-    return;
-  }
-  FaultDecision d =
-      policy_->decide(next_decision_++, src, dst, data.size(), p);
-  if (d.drop) {
-    stats_.dropped_loss.fetch_add(1, std::memory_order_relaxed);
-    return;
-  }
   // The one copy on the receive path (the simulated NIC writing into a
-  // fresh receive buffer); every delivery of this datagram -- duplicates
+  // fresh receive buffer); every clean delivery of this burst -- duplicates
   // included -- shares it from here on.
-  Bytes copy(data.begin(), data.end());
-  if (d.corrupt_seed != 0 && !copy.empty()) {
-    stats_.corrupted.fetch_add(1, std::memory_order_relaxed);
-    // Flip 1-4 bytes chosen by the decision's private stream, so the exact
-    // garbling replays with the decision.
-    Rng garble(d.corrupt_seed);
-    std::uint64_t flips = 1 + garble.next_below(4);
-    for (std::uint64_t i = 0; i < flips; ++i) {
-      copy[garble.next_below(copy.size())] ^=
-          static_cast<std::uint8_t>(1 + garble.next_below(255));
+  std::shared_ptr<const Bytes> clean;
+  for (NodeId dst : dsts) {
+    const LinkParams& p = params_for_locked(src, dst);
+    if (data.size() > p.mtu) {
+      stats_.dropped_mtu.fetch_add(1, std::memory_order_relaxed);
+      continue;
     }
+    if (!can_reach_locked(src, dst)) {
+      stats_.dropped_partition.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    FaultDecision d =
+        policy_->decide(next_decision_++, src, dst, data.size(), p);
+    if (d.drop) {
+      stats_.dropped_loss.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    std::shared_ptr<const Bytes> payload;
+    if (d.corrupt_seed != 0 && !data.empty()) {
+      stats_.corrupted.fetch_add(1, std::memory_order_relaxed);
+      // Flip 1-4 bytes chosen by the decision's private stream, so the
+      // exact garbling replays with the decision. Garbled deliveries need
+      // their own copy; sharing would corrupt the other destinations.
+      Bytes copy(data.begin(), data.end());
+      Rng garble(d.corrupt_seed);
+      std::uint64_t flips = 1 + garble.next_below(4);
+      for (std::uint64_t i = 0; i < flips; ++i) {
+        copy[garble.next_below(copy.size())] ^=
+            static_cast<std::uint8_t>(1 + garble.next_below(255));
+      }
+      payload = std::make_shared<const Bytes>(std::move(copy));
+    } else {
+      if (clean == nullptr) {
+        clean = std::make_shared<const Bytes>(data.begin(), data.end());
+      }
+      payload = clean;
+    }
+    if (d.duplicate) {
+      stats_.duplicated.fetch_add(1, std::memory_order_relaxed);
+      deliver_at_locked(src, dst, payload, d.dup_delay);
+    }
+    deliver_at_locked(src, dst, std::move(payload), d.delay);
   }
-  auto shared = std::make_shared<const Bytes>(std::move(copy));
-  if (d.duplicate) {
-    stats_.duplicated.fetch_add(1, std::memory_order_relaxed);
-    deliver_at_locked(src, dst, shared, d.dup_delay);
-  }
-  deliver_at_locked(src, dst, std::move(shared), d.delay);
 }
 
 void SimNetwork::deliver_at_locked(NodeId src, NodeId dst,

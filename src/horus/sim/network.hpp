@@ -16,6 +16,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -131,6 +132,14 @@ class SimNetwork {
 
   /// Best-effort datagram send.
   void send(NodeId src, NodeId dst, ByteSpan data);
+
+  /// One datagram to many destinations under a single lock acquisition
+  /// (the Transport::send_batch path). Behaviorally identical to calling
+  /// send() once per destination in order -- the same fault decisions are
+  /// made with the same indices, so horus-check recordings stay aligned
+  /// whether a stack uses the batched or the per-destination wire path --
+  /// but all clean deliveries share one buffer copy.
+  void send_multi(NodeId src, std::span<const NodeId> dsts, ByteSpan data);
 
   /// Default parameters for links without an override. Returned by value:
   /// the stored copy is guarded by the network lock, so handing out a

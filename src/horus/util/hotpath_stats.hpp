@@ -32,6 +32,7 @@ struct MsgPathStats {
   std::atomic<std::uint64_t> corrupt_trains{0};     ///< undecodable trains dropped whole
   std::atomic<std::uint64_t> batch_descents{0};     ///< down_batch stack traversals
   std::atomic<std::uint64_t> batched_events{0};     ///< events carried by those batches
+  std::atomic<std::uint64_t> batch_sends{0};        ///< multi-destination Transport::send_batch calls
 
   // Live reconfiguration (epoch-versioned stacks).
   std::atomic<std::uint64_t> reconfigs_requested{0};  ///< reconfigure() accepted
@@ -52,7 +53,8 @@ struct MsgPathStats {
           &bytes_copied, &packs_built, &casts_packed, &flushes_by_size,
           &flushes_by_count, &flushes_by_timer, &packed_bytes_saved,
           &trains_unpacked, &casts_unpacked, &corrupt_trains,
-          &batch_descents, &batched_events, &reconfigs_requested,
+          &batch_descents, &batched_events, &batch_sends,
+          &reconfigs_requested,
           &reconfigs_completed, &reconfigs_rejected, &stale_epoch_drops,
           &shadow_datagrams, &shadows_retired, &state_transfers}) {
       c->store(0, std::memory_order_relaxed);

@@ -1,6 +1,7 @@
 // COM layer behaviour: fan-out to the view, source tagging, group
 // demultiplexing, checksum trailer (P10), spurious-traffic filtering.
 #include "../common/test_util.hpp"
+#include "horus/util/hotpath_stats.hpp"
 
 namespace horus::testing {
 namespace {
@@ -113,6 +114,21 @@ TEST(Com, EmptyPayloadCast) {
   w.sys.run_for(50 * sim::kMillisecond);
   ASSERT_EQ(w.logs[1].casts.size(), 1u);
   EXPECT_TRUE(w.logs[1].casts[0].payload.empty());
+}
+
+TEST(Com, CastUsesOneBatchedTransportSend) {
+  // COM's fan-out goes through Transport::send_batch: one egress call per
+  // cast (and one SimNetwork::send_multi burst), not one per member.
+  ComWorld w(4);
+  msg_path_stats().reset();
+  w.eps[0]->cast(kGroup, Message::from_string("batched"));
+  w.sys.run_for(50 * sim::kMillisecond);
+  EXPECT_EQ(msg_path_stats().batch_sends.load(), 1u);
+  EXPECT_EQ(w.eps[0]->stack().stats().datagrams_sent, 4u)
+      << "batching must not change per-destination accounting";
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(w.logs[i].casts.size(), 1u) << "member " << i;
+  }
 }
 
 TEST(Com, SelfSendWorks) {

@@ -1,0 +1,139 @@
+// AddressBook: the id <-> ip:port mapping every horus-net deployment
+// shares. Parsing must accept the documented format exactly and reject
+// everything else with an error naming the line -- a bad book discovered
+// at first send would be a distributed-debugging session instead of a
+// startup failure.
+#include "horus/net/address_book.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+
+#include <stdexcept>
+
+namespace horus::net {
+namespace {
+
+TEST(AddressBook, ParsesIds_Comments_BlankLines) {
+  AddressBook book = AddressBook::parse(
+      "# deployment book\n"
+      "\n"
+      "1 127.0.0.1:7001\n"
+      "2 10.0.0.2:7002   # rack 2\n"
+      "\t3\t192.168.1.3:7003\n");
+  EXPECT_EQ(book.size(), 3u);
+  ASSERT_NE(book.find(Address{1}), nullptr);
+  ASSERT_NE(book.find(Address{2}), nullptr);
+  ASSERT_NE(book.find(Address{3}), nullptr);
+  EXPECT_EQ(book.find(Address{2})->host, "10.0.0.2");
+  EXPECT_EQ(book.find(Address{2})->port, 7002);
+  EXPECT_EQ(book.find(Address{4}), nullptr);
+  EXPECT_FALSE(book.contains(Address{4}));
+}
+
+TEST(AddressBook, ParsesIPv6InBrackets) {
+  AddressBook book = AddressBook::parse("7 [::1]:9000\n");
+  const PeerEntry* e = book.find(Address{7});
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->sa.ss_family, AF_INET6);
+  EXPECT_EQ(e->port, 9000);
+  EXPECT_EQ(e->host, "::1");
+}
+
+TEST(AddressBook, MembersAreSortedById) {
+  AddressBook book =
+      AddressBook::parse("5 127.0.0.1:7005\n1 127.0.0.1:7001\n3 127.0.0.1:7003\n");
+  std::vector<Address> m = book.members();
+  ASSERT_EQ(m.size(), 3u);
+  EXPECT_EQ(m[0].id, 1u);
+  EXPECT_EQ(m[1].id, 3u);
+  EXPECT_EQ(m[2].id, 5u);
+}
+
+TEST(AddressBook, ToStringRoundTrips) {
+  const std::string text = "1 127.0.0.1:7001\n2 [::1]:7002\n";
+  AddressBook book = AddressBook::parse(text);
+  EXPECT_EQ(book.to_string(), text);
+  // And the rendering re-parses to the same book.
+  AddressBook again = AddressBook::parse(book.to_string());
+  EXPECT_EQ(again.size(), book.size());
+}
+
+// -- rejected input, each with the offending line in the message ------------
+
+void expect_parse_error(const std::string& text, const std::string& needle) {
+  try {
+    AddressBook::parse(text);
+    FAIL() << "expected invalid_argument for: " << text;
+  } catch (const std::invalid_argument& ex) {
+    EXPECT_NE(std::string(ex.what()).find(needle), std::string::npos)
+        << "message was: " << ex.what();
+  }
+}
+
+TEST(AddressBook, RejectsMalformedLines) {
+  expect_parse_error("justoneword\n", "line 1");
+  expect_parse_error("1 127.0.0.1:7001\n2 127.0.0.1 7002\n", "line 2");
+  expect_parse_error("1 127.0.0.1:7001 extra\n", "trailing");
+}
+
+TEST(AddressBook, RejectsBadIds) {
+  expect_parse_error("x 127.0.0.1:7001\n", "bad id");
+  expect_parse_error("0 127.0.0.1:7001\n", "id 0");
+  expect_parse_error("-1 127.0.0.1:7001\n", "bad id");
+}
+
+TEST(AddressBook, RejectsBadAddresses) {
+  expect_parse_error("1 not.an.ip:7001\n", "unparseable ip");
+  expect_parse_error("1 127.0.0.1:0\n", "bad port");
+  expect_parse_error("1 127.0.0.1:70000\n", "bad port");
+  expect_parse_error("1 127.0.0.1:abc\n", "bad port");
+  expect_parse_error("1 127.0.0.1\n", "expected <ip>:<port>");
+  // Bare IPv6 is ambiguous about where the port starts.
+  expect_parse_error("1 ::1:7001\n", "[addr]:port");
+  expect_parse_error("1 [::1:7001\n", "unterminated");
+}
+
+TEST(AddressBook, RejectsDuplicates) {
+  expect_parse_error("1 127.0.0.1:7001\n1 127.0.0.1:7002\n", "duplicate id");
+  expect_parse_error("1 127.0.0.1:7001\n2 127.0.0.1:7001\n",
+                     "share socket address");
+}
+
+TEST(AddressBook, LoadFileRejectsMissingFile) {
+  EXPECT_THROW(AddressBook::load_file("/nonexistent/book.txt"),
+               std::runtime_error);
+}
+
+// -- rx-side reverse lookup -------------------------------------------------
+
+TEST(AddressBook, FindSenderMapsSocketAddressBack) {
+  AddressBook book =
+      AddressBook::parse("1 127.0.0.1:7001\n2 [::1]:7002\n");
+  sockaddr_in v4{};
+  v4.sin_family = AF_INET;
+  v4.sin_port = htons(7001);
+  inet_pton(AF_INET, "127.0.0.1", &v4.sin_addr);
+  const PeerEntry* e = book.find_sender(
+      reinterpret_cast<const sockaddr*>(&v4), sizeof(v4));
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->addr.id, 1u);
+
+  // Same ip, different port: a different (unknown) peer.
+  v4.sin_port = htons(7999);
+  EXPECT_EQ(book.find_sender(reinterpret_cast<const sockaddr*>(&v4),
+                             sizeof(v4)),
+            nullptr);
+
+  sockaddr_in6 v6{};
+  v6.sin6_family = AF_INET6;
+  v6.sin6_port = htons(7002);
+  inet_pton(AF_INET6, "::1", &v6.sin6_addr);
+  const PeerEntry* e6 = book.find_sender(
+      reinterpret_cast<const sockaddr*>(&v6), sizeof(v6));
+  ASSERT_NE(e6, nullptr);
+  EXPECT_EQ(e6->addr.id, 2u);
+}
+
+}  // namespace
+}  // namespace horus::net

@@ -1,0 +1,157 @@
+// FaultShimTransport: wire-level fault injection with SimNetwork's
+// determinism discipline -- decision i is a pure function of (seed, i),
+// whatever path (send or send_batch) consumed the index.
+#include "horus/net/fault_shim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "horus/sim/scheduler.hpp"
+
+namespace horus::net {
+namespace {
+
+/// Records every datagram the shim lets through.
+class RecordingTransport final : public Transport {
+ public:
+  struct Sent {
+    Address dst;
+    Bytes data;
+  };
+
+  void send(Address /*src*/, Address dst, ByteSpan datagram) override {
+    sent.push_back({dst, Bytes(datagram.begin(), datagram.end())});
+  }
+  void send_batch(Address src, std::span<const Address> dsts,
+                  ByteSpan datagram) override {
+    ++batch_calls;
+    for (const Address& d : dsts) send(src, d, datagram);
+  }
+
+  std::vector<Sent> sent;
+  int batch_calls = 0;
+};
+
+Bytes payload(std::uint8_t tag) { return Bytes{tag, 2, 3}; }
+
+TEST(FaultShim, ZeroRatesForwardEverything) {
+  RecordingTransport inner;
+  FaultShimTransport shim(inner, {});
+  for (int i = 0; i < 50; ++i) {
+    shim.send(Address{1}, Address{2}, payload(static_cast<std::uint8_t>(i)));
+  }
+  EXPECT_EQ(inner.sent.size(), 50u);
+  EXPECT_EQ(shim.stats().dropped.load(), 0u);
+  EXPECT_EQ(shim.stats().duplicated.load(), 0u);
+  EXPECT_EQ(shim.decisions_made(), 50u);
+}
+
+TEST(FaultShim, CertainDropLosesEverything) {
+  RecordingTransport inner;
+  FaultShimConfig cfg;
+  cfg.drop = 1.0;
+  FaultShimTransport shim(inner, cfg);
+  shim.send(Address{1}, Address{2}, payload(0));
+  std::vector<Address> dsts = {Address{2}, Address{3}};
+  shim.send_batch(Address{1}, dsts, payload(1));
+  EXPECT_TRUE(inner.sent.empty());
+  EXPECT_EQ(shim.stats().dropped.load(), 3u);
+  EXPECT_EQ(shim.decisions_made(), 3u);
+}
+
+TEST(FaultShim, CertainDuplicateDoublesEverything) {
+  RecordingTransport inner;
+  FaultShimConfig cfg;
+  cfg.duplicate = 1.0;
+  FaultShimTransport shim(inner, cfg);
+  shim.send(Address{1}, Address{2}, payload(7));
+  EXPECT_EQ(inner.sent.size(), 2u);
+  EXPECT_EQ(shim.stats().duplicated.load(), 1u);
+  EXPECT_EQ(inner.sent[0].data, inner.sent[1].data);
+}
+
+TEST(FaultShim, BatchSurvivorsGoOutAsOneInnerBatch) {
+  RecordingTransport inner;
+  FaultShimConfig cfg;
+  cfg.drop = 0.5;
+  cfg.seed = 99;
+  FaultShimTransport shim(inner, cfg);
+  std::vector<Address> dsts;
+  for (std::uint64_t i = 2; i < 22; ++i) dsts.push_back(Address{i});
+  shim.send_batch(Address{1}, dsts, payload(1));
+  // Whatever the fates were, survivors + drops account for every
+  // destination, and the survivors left through one batched call.
+  EXPECT_EQ(inner.sent.size() + shim.stats().dropped.load(), dsts.size());
+  EXPECT_GT(inner.sent.size(), 0u);  // p(all 20 dropped) = 2^-20
+  EXPECT_EQ(inner.batch_calls, 1);
+}
+
+TEST(FaultShim, SameSeedSameFates_SendAndBatchAligned) {
+  // The same seed must produce the same fate sequence whether decisions
+  // are consumed one send() at a time or in one send_batch() -- the
+  // property that keeps a faulty run describable by (seed, index).
+  FaultShimConfig cfg;
+  cfg.drop = 0.3;
+  cfg.duplicate = 0.2;
+  cfg.seed = 0xabcd;
+  RecordingTransport singles_inner;
+  FaultShimTransport singles(singles_inner, cfg);
+  RecordingTransport batch_inner;
+  FaultShimTransport batched(batch_inner, cfg);
+
+  std::vector<Address> dsts;
+  for (std::uint64_t i = 2; i < 34; ++i) dsts.push_back(Address{i});
+  for (const Address& d : dsts) {
+    singles.send(Address{1}, d, payload(5));
+  }
+  batched.send_batch(Address{1}, dsts, payload(5));
+
+  EXPECT_EQ(singles.decisions_made(), batched.decisions_made());
+  EXPECT_EQ(singles.stats().dropped.load(), batched.stats().dropped.load());
+  EXPECT_EQ(singles.stats().duplicated.load(),
+            batched.stats().duplicated.load());
+  // Same per-destination outcomes, not just same totals.
+  auto dst_multiset = [](const RecordingTransport& t) {
+    std::vector<std::uint64_t> ids;
+    ids.reserve(t.sent.size());
+    for (const auto& s : t.sent) ids.push_back(s.dst.id);
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  };
+  EXPECT_EQ(dst_multiset(singles_inner), dst_multiset(batch_inner));
+}
+
+TEST(FaultShim, DelayHoldsDatagramUntilSchedulerFires) {
+  sim::Scheduler sched;
+  RecordingTransport inner;
+  FaultShimConfig cfg;
+  cfg.delay_min = 500;
+  cfg.delay_max = 500;  // deterministic window
+  FaultShimTransport shim(inner, cfg, &sched);
+  shim.send(Address{1}, Address{2}, payload(9));
+  EXPECT_TRUE(inner.sent.empty());  // held by the scheduler
+  EXPECT_EQ(shim.stats().delayed.load(), 1u);
+  sched.run_for(499);
+  EXPECT_TRUE(inner.sent.empty());
+  sched.run_for(2);
+  ASSERT_EQ(inner.sent.size(), 1u);
+  EXPECT_EQ(inner.sent[0].data, payload(9));
+  EXPECT_EQ(shim.stats().forwarded.load(), 1u);
+}
+
+TEST(FaultShim, DelayWithoutSchedulerIsRejected) {
+  RecordingTransport inner;
+  FaultShimConfig cfg;
+  cfg.delay_max = 100;
+  EXPECT_THROW(FaultShimTransport(inner, cfg), std::invalid_argument);
+  cfg.delay_max = 0;
+  cfg.delay_min = 10;  // max < min
+  sim::Scheduler sched;
+  EXPECT_THROW(FaultShimTransport(inner, cfg, &sched),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace horus::net

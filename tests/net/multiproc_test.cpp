@@ -1,0 +1,301 @@
+// [subprocess] Multi-process deployment over real loopback UDP: three
+// horus-node processes (and three replicated_kv replicas) talking through
+// the kernel, no shared memory -- the acceptance run for horus-net.
+//
+// Each child prints a machine-readable RESULT (or DIGEST) line; the test
+// asserts full delivery, per-sender digest agreement (same casts in the
+// same per-sender order everywhere), and agreed views across join, leave
+// and a 5% fault-shim drop rate.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#ifndef HORUS_NODE_BIN
+#error "HORUS_NODE_BIN must be defined by the build"
+#endif
+#ifndef REPLICATED_KV_BIN
+#error "REPLICATED_KV_BIN must be defined by the build"
+#endif
+
+namespace {
+
+/// Grab `n` distinct free loopback UDP ports. All sockets are held open
+/// until every port is known, so the kernel can't hand the same port twice.
+std::vector<std::uint16_t> free_ports(int n) {
+  std::vector<int> fds;
+  std::vector<std::uint16_t> ports;
+  for (int i = 0; i < n; ++i) {
+    int fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC, 0);
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    inet_pton(AF_INET, "127.0.0.1", &sa.sin_addr);
+    ::bind(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa));
+    socklen_t len = sizeof(sa);
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &len);
+    ports.push_back(ntohs(sa.sin_port));
+    fds.push_back(fd);
+  }
+  for (int fd : fds) ::close(fd);
+  return ports;
+}
+
+struct TempDir {
+  std::string path;
+  TempDir() {
+    char tmpl[] = "/tmp/horus_net_XXXXXX";
+    path = mkdtemp(tmpl);
+  }
+  ~TempDir() {
+    // Best-effort cleanup of the handful of small files we created.
+    std::string cmd = "rm -rf " + path;
+    [[maybe_unused]] int rc = std::system(cmd.c_str());
+  }
+};
+
+std::string write_book(const TempDir& dir,
+                       const std::vector<std::uint16_t>& ports) {
+  std::string path = dir.path + "/book.txt";
+  std::ofstream out(path);
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    out << (i + 1) << " 127.0.0.1:" << ports[i] << "\n";
+  }
+  return path;
+}
+
+struct ChildRun {
+  int exit_code = -1;
+  std::string output;
+};
+
+/// Launch every child simultaneously (stdout redirected to a per-child
+/// file), then wait for all of them. Simultaneous start matters: a node
+/// started much later than its peers can watch them exit and end up alone
+/// in a singleton view.
+std::vector<ChildRun> run_children(
+    const TempDir& dir, const std::vector<std::vector<std::string>>& argvs) {
+  std::vector<pid_t> pids;
+  std::vector<std::string> out_paths;
+  for (std::size_t i = 0; i < argvs.size(); ++i) {
+    std::string out_path = dir.path + "/child" + std::to_string(i) + ".out";
+    out_paths.push_back(out_path);
+    pid_t pid = fork();
+    if (pid == 0) {
+      int fd = ::open(out_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      dup2(fd, STDOUT_FILENO);
+      dup2(fd, STDERR_FILENO);
+      ::close(fd);
+      std::vector<char*> argv;
+      for (const std::string& a : argvs[i]) {
+        argv.push_back(const_cast<char*>(a.c_str()));
+      }
+      argv.push_back(nullptr);
+      execv(argv[0], argv.data());
+      _exit(127);
+    }
+    pids.push_back(pid);
+  }
+  std::vector<ChildRun> runs(argvs.size());
+  for (std::size_t i = 0; i < pids.size(); ++i) {
+    int status = 0;
+    waitpid(pids[i], &status, 0);
+    runs[i].exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    std::ifstream in(out_paths[i]);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    runs[i].output = ss.str();
+  }
+  return runs;
+}
+
+struct PerSender {
+  std::uint64_t count = 0;
+  std::string digest;
+};
+
+struct NodeResult {
+  std::uint64_t id = 0;
+  std::uint64_t views = 0;
+  std::uint64_t view_seq = 0;
+  std::vector<std::uint64_t> view;
+  long sent = 0;
+  std::uint64_t delivered = 0;
+  std::map<std::uint64_t, PerSender> from;
+  bool left = false;
+};
+
+std::optional<NodeResult> parse_result(const std::string& output) {
+  std::istringstream lines(output);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("RESULT ", 0) != 0) continue;
+    NodeResult r;
+    std::istringstream toks(line.substr(7));
+    std::string tok;
+    while (toks >> tok) {
+      auto eq = tok.find('=');
+      if (eq == std::string::npos) continue;
+      std::string key = tok.substr(0, eq);
+      std::string val = tok.substr(eq + 1);
+      if (key == "id") r.id = std::strtoull(val.c_str(), nullptr, 10);
+      else if (key == "views") r.views = std::strtoull(val.c_str(), nullptr, 10);
+      else if (key == "view_seq") r.view_seq = std::strtoull(val.c_str(), nullptr, 10);
+      else if (key == "sent") r.sent = std::strtol(val.c_str(), nullptr, 10);
+      else if (key == "delivered") r.delivered = std::strtoull(val.c_str(), nullptr, 10);
+      else if (key == "left") r.left = val == "1";
+      else if (key == "view") {
+        std::istringstream ms(val);
+        std::string m;
+        while (std::getline(ms, m, ',')) {
+          if (!m.empty()) r.view.push_back(std::strtoull(m.c_str(), nullptr, 10));
+        }
+      } else if (key == "from") {
+        std::istringstream fs(val);
+        std::string entry;
+        while (std::getline(fs, entry, ',')) {
+          std::uint64_t sender = 0, count = 0;
+          char digest[32] = {0};
+          if (std::sscanf(entry.c_str(), "%llu:%llu:%31s",
+                          reinterpret_cast<unsigned long long*>(&sender),
+                          reinterpret_cast<unsigned long long*>(&count),
+                          digest) == 3) {
+            r.from[sender] = PerSender{count, digest};
+          }
+        }
+      }
+    }
+    return r;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> node_args(const std::string& book, int id,
+                                   const std::vector<std::string>& extra) {
+  std::vector<std::string> a = {HORUS_NODE_BIN,
+                                "--id=" + std::to_string(id),
+                                "--book=" + book,
+                                "--casts=10",
+                                "--run-ms=4000",
+                                "--quiet"};
+  if (id != 1) a.push_back("--contact=1");
+  for (const std::string& e : extra) a.push_back(e);
+  return a;
+}
+
+void expect_digests_agree(const std::vector<NodeResult>& results) {
+  // Every node saw the same per-sender stream: same count, same
+  // order-sensitive digest, for each of the three senders.
+  for (std::uint64_t sender = 1; sender <= 3; ++sender) {
+    SCOPED_TRACE("sender " + std::to_string(sender));
+    ASSERT_TRUE(results[0].from.count(sender));
+    const PerSender& ref = results[0].from.at(sender);
+    EXPECT_EQ(ref.count, 10u);
+    for (std::size_t i = 1; i < results.size(); ++i) {
+      ASSERT_TRUE(results[i].from.count(sender))
+          << "node " << results[i].id << " heard nothing from " << sender;
+      EXPECT_EQ(results[i].from.at(sender).count, ref.count);
+      EXPECT_EQ(results[i].from.at(sender).digest, ref.digest)
+          << "node " << results[i].id << " diverged on sender " << sender;
+    }
+  }
+}
+
+TEST(NetMultiproc, ThreeNodes_FullDelivery_AndGracefulLeave) {
+  TempDir dir;
+  std::string book = write_book(dir, free_ports(3));
+  // Node 3 leaves at 3000ms -- well after all 30 casts (done by ~700ms),
+  // well before the 4000ms run end, so nodes 1+2 install the {1,2} view.
+  auto runs = run_children(dir, {node_args(book, 1, {}),
+                                 node_args(book, 2, {}),
+                                 node_args(book, 3, {"--leave-at-ms=3000"})});
+  std::vector<NodeResult> results;
+  for (const ChildRun& run : runs) {
+    EXPECT_EQ(run.exit_code, 0) << run.output;
+    auto r = parse_result(run.output);
+    ASSERT_TRUE(r.has_value()) << "no RESULT line in:\n" << run.output;
+    results.push_back(*r);
+  }
+  for (const NodeResult& r : results) {
+    EXPECT_EQ(r.sent, 10) << "node " << r.id;
+    EXPECT_EQ(r.delivered, 30u) << "node " << r.id;
+  }
+  expect_digests_agree(results);
+  // Node 3 left gracefully; the survivors agree on the {1,2} view.
+  EXPECT_TRUE(results[2].left);
+  std::vector<std::uint64_t> survivors = {1, 2};
+  EXPECT_EQ(results[0].view, survivors);
+  EXPECT_EQ(results[1].view, survivors);
+  EXPECT_EQ(results[0].view_seq, results[1].view_seq);
+}
+
+TEST(NetMultiproc, ThreeNodes_FaultShim5PercentDrop_StillDeliversAll) {
+  TempDir dir;
+  std::string book = write_book(dir, free_ports(3));
+  // Every process drops 5% of its outgoing datagrams (independent seeded
+  // streams); NAK retransmission must recover every cast regardless.
+  std::vector<NodeResult> results;
+  auto runs = run_children(
+      dir, {node_args(book, 1, {"--drop=0.05", "--seed=101"}),
+            node_args(book, 2, {"--drop=0.05", "--seed=202"}),
+            node_args(book, 3, {"--drop=0.05", "--seed=303"})});
+  for (const ChildRun& run : runs) {
+    EXPECT_EQ(run.exit_code, 0) << run.output;
+    auto r = parse_result(run.output);
+    ASSERT_TRUE(r.has_value()) << "no RESULT line in:\n" << run.output;
+    results.push_back(*r);
+  }
+  for (const NodeResult& r : results) {
+    EXPECT_EQ(r.delivered, 30u) << "node " << r.id << " lost casts";
+  }
+  expect_digests_agree(results);
+  // All three stayed: everyone converged on the full view.
+  std::vector<std::uint64_t> all = {1, 2, 3};
+  for (const NodeResult& r : results) {
+    EXPECT_EQ(r.view, all) << "node " << r.id;
+  }
+}
+
+TEST(NetMultiproc, ReplicatedKvAcrossProcessesConverges) {
+  TempDir dir;
+  std::string book = write_book(dir, free_ports(3));
+  auto kv_args = [&](int id) {
+    std::vector<std::string> a = {REPLICATED_KV_BIN,
+                                  "--node=" + std::to_string(id),
+                                  "--book=" + book, "--run-ms=4000"};
+    if (id != 1) a.push_back("--contact=1");
+    return a;
+  };
+  auto runs = run_children(dir, {kv_args(1), kv_args(2), kv_args(3)});
+  std::vector<std::string> digests;
+  for (const ChildRun& run : runs) {
+    EXPECT_EQ(run.exit_code, 0) << run.output;
+    std::istringstream lines(run.output);
+    std::string line;
+    std::string digest;
+    while (std::getline(lines, line)) {
+      if (line.rfind("DIGEST ", 0) == 0) digest = line.substr(line.find(' ', 7) + 1);
+    }
+    ASSERT_FALSE(digest.empty()) << "no DIGEST line in:\n" << run.output;
+    digests.push_back(digest);
+  }
+  // TOTAL order == identical replicas, across real process boundaries.
+  EXPECT_EQ(digests[0], digests[1]);
+  EXPECT_EQ(digests[1], digests[2]);
+  EXPECT_NE(digests[0].find("leader="), std::string::npos);
+}
+
+}  // namespace
