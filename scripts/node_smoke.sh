@@ -22,7 +22,8 @@ s.close()')
 echo "1 127.0.0.1:${port}" > "${dir}/book.txt"
 
 out=$("$node" --id=1 --book="${dir}/book.txt" \
-      --casts=5 --cast-start-ms=200 --cast-gap-ms=10 --run-ms=1500)
+      --casts=5 --cast-start-ms=200 --cast-gap-ms=10 --run-ms=1500 \
+      --metrics-dump="${dir}/metrics.prom")
 echo "$out"
 
 echo "$out" | grep -q '^RESULT id=1 ' || { echo "FAIL: no RESULT line"; exit 1; }
@@ -32,4 +33,29 @@ if [ "$delivered" != "5" ]; then
   exit 1
 fi
 echo "$out" | grep -q ' view=1 ' || { echo "FAIL: singleton view not installed"; exit 1; }
+
+# --metrics-dump must produce parseable Prometheus text exposition: every
+# non-comment line is "<name> <number>", names are horus_-prefixed, and the
+# casts above must show up in the stack counters.
+[ -s "${dir}/metrics.prom" ] || { echo "FAIL: metrics dump missing/empty"; exit 1; }
+python3 - "${dir}/metrics.prom" <<'PY'
+import re, sys
+path = sys.argv[1]
+metric = re.compile(r'^(horus_[A-Za-z0-9_:]+)(\{le="[^"]+"\})? (-?\d+)$')
+names = {}
+for i, line in enumerate(open(path), 1):
+    line = line.rstrip("\n")
+    if not line or line.startswith("# "):
+        continue
+    m = metric.match(line)
+    if not m:
+        sys.exit(f"FAIL: unparseable exposition line {i}: {line!r}")
+    names[m.group(1)] = int(m.group(3))
+for required in ("horus_stack_downcalls", "horus_udp_tx_datagrams"):
+    if required not in names:
+        sys.exit(f"FAIL: {required} missing from metrics dump")
+if names["horus_stack_downcalls"] < 5:
+    sys.exit(f"FAIL: expected >=5 downcalls, got {names['horus_stack_downcalls']}")
+print(f"metrics dump OK ({len(names)} series)")
+PY
 echo "node smoke OK (port ${port})"

@@ -115,6 +115,16 @@ Detector& det() {
   return *d;
 }
 
+struct HookSlot {
+  std::mutex mu;
+  ViolationHook fn;
+};
+
+HookSlot& hook_slot() {
+  static HookSlot* h = new HookSlot;
+  return *h;
+}
+
 std::vector<std::string> capture_trace() {
   std::vector<std::string> out;
 #ifdef HORUS_RACE_HAVE_BACKTRACE
@@ -145,8 +155,6 @@ void record_violation(Kind kind, std::uint64_t owner_gid,
                       const Frame* frame, const char* what) {
   Detector& d = det();
   counter_for(d, kind).fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard lock(d.report_mu);
-  if (d.log.size() >= kMaxReports) return;  // counters keep the exact total
   Report r;
   r.kind = kind;
   r.owner_gid = owner_gid;
@@ -157,7 +165,26 @@ void record_violation(Kind kind, std::uint64_t owner_gid,
   r.accessor_thread = me.id;
   r.what = what;
   r.trace = capture_trace();
-  d.log.push_back(std::move(r));
+  {
+    std::lock_guard lock(d.report_mu);
+    if (d.log.size() >= kMaxReports) return;  // counters keep exact totals
+    d.log.push_back(r);
+  }
+  // Notify outside the report lock. A hook that itself trips a probe must
+  // not re-enter (the violation is still counted above).
+  thread_local bool in_hook = false;
+  if (in_hook) return;
+  ViolationHook hook;
+  {
+    HookSlot& h = hook_slot();
+    std::lock_guard lock(h.mu);
+    hook = h.fn;
+  }
+  if (hook) {
+    in_hook = true;
+    hook(r);
+    in_hook = false;
+  }
 }
 
 /// Did the recorded access happen-before the calling thread's present?
@@ -298,6 +325,12 @@ void reset() {
   }
   d.group_recs.clear();
   d.write_recs.clear();
+}
+
+void set_violation_hook(ViolationHook hook) {
+  HookSlot& h = hook_slot();
+  std::lock_guard lock(h.mu);
+  h.fn = std::move(hook);
 }
 
 std::uint64_t owner_key(const void* exec, std::uint64_t key) {

@@ -110,6 +110,17 @@ struct CounterSnapshot {
 /// tests call this between scenarios.
 void reset();
 
+/// Install a callback invoked for each *retained* violation report (at
+/// most kMaxReports between resets; the counters alone advance past the
+/// cap). horus-obs uses this to dump the flight recorder the moment a
+/// violation is first observed, while the offending state is hot. The
+/// hook runs on the violating thread with no detector locks held;
+/// violations it trips itself are counted but not re-notified. Pass
+/// nullptr (or {}) to uninstall. With the detector compiled out the hook
+/// is stored but never fires.
+using ViolationHook = std::function<void(const Report&)>;
+void set_violation_hook(ViolationHook hook);
+
 inline constexpr std::size_t kMaxReports = 32;
 
 /// Ownership key: a group is owned by (executor identity, group key), not

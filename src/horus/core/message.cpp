@@ -293,14 +293,6 @@ void Message::consume(std::size_t n) {
 
 // -- payload ----------------------------------------------------------------
 
-std::size_t Message::payload_size() const {
-  if (rx()) return rx_end_ - rx_cursor_;
-  if (linear()) return pay_len_;
-  std::size_t n = 0;
-  for (const auto& c : chunks_) n += c.len;
-  return n;
-}
-
 Bytes Message::payload_bytes() const {
   if (rx()) {
     return Bytes(rx_buf_->begin() + static_cast<std::ptrdiff_t>(rx_cursor_),

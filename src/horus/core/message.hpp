@@ -152,7 +152,15 @@ class Message {
 
   // -- payload --------------------------------------------------------------
 
-  [[nodiscard]] std::size_t payload_size() const;
+  /// Inline: the stack's metrics probes read this on every boundary
+  /// crossing, and the common rx/linear cases are one member load.
+  [[nodiscard]] std::size_t payload_size() const {
+    if (rx()) return rx_end_ - rx_cursor_;
+    if (linear()) return pay_len_;
+    std::size_t n = 0;
+    for (const auto& c : chunks_) n += c.len;
+    return n;
+  }
   /// Linearized payload (copies if chunked).
   [[nodiscard]] Bytes payload_bytes() const;
   [[nodiscard]] std::string payload_string() const { return horus::to_string(payload_bytes()); }

@@ -7,6 +7,11 @@
 #include "horus/util/hotpath_stats.hpp"
 #include "horus/util/rng.hpp"
 
+#ifdef HORUS_METRICS
+#include "horus/obs/flight_recorder.hpp"
+#include "horus/obs/metrics.hpp"
+#endif
+
 namespace horus {
 namespace {
 
@@ -66,6 +71,20 @@ Stack::Stack(StackConfig cfg, std::vector<std::unique_ptr<Layer>> layers,
     h = fnv1a64_step(h, fnv1a64(l->info().name.c_str()));
   }
   stamp_ = static_cast<std::uint16_t>((epoch_ & 0xffu) | ((h & 0xffu) << 8));
+
+#ifdef HORUS_METRICS
+  // Crossing totals come from the flight recorder's per-ring counts
+  // (mirrored into the registry as stack.forward_* -- metrics.cpp), so the
+  // probes only resolve the sampled latency histograms here.
+  obs::MetricsRegistry& reg = obs::metrics();
+  obs_self_id_ = owner_->address().id;
+  down_lat_.reserve(layers_.size());
+  up_lat_.reserve(layers_.size());
+  for (const auto& l : layers_) {
+    down_lat_.push_back(&reg.histogram("layer.down_ns." + l->info().name));
+    up_lat_.push_back(&reg.histogram("layer.up_ns." + l->info().name));
+  }
+#endif
 
   compile_layout();
   compile_skip_tables();
@@ -249,6 +268,15 @@ void Stack::deliver_datagram_batch(
 
 void Stack::receive_inline(Group& g, Address src,
                            std::shared_ptr<const Bytes> datagram) {
+#ifdef HORUS_METRICS
+  if (obs::enabled()) {
+    g.flight_ring()->record(
+        obs::FrEvent::kDatagramRx,
+        static_cast<std::uint8_t>(layers_.size() - 1),
+        static_cast<std::uint32_t>(datagram->size()),
+        static_cast<std::uint64_t>(sched_.now()), src.id);
+  }
+#endif
   layers_.back()->raw_receive(g, src, std::move(datagram), kFramePrefix);
 }
 
@@ -273,6 +301,24 @@ void Stack::forward_down(std::size_t from_index, Group& g, DownEvent& ev) {
     next = from_index + 1;
   }
   if (next >= layers_.size()) return;  // absorbed below the bottom
+#ifdef HORUS_METRICS
+  if (obs::enabled()) {
+    const std::uint64_t seq = g.flight_ring()->record(
+        from_index == kAppSink ? obs::FrEvent::kDowncall
+                               : obs::FrEvent::kForwardDown,
+        static_cast<std::uint8_t>(next),
+        // Unconditional: an empty msg reports 0, and the branchless form
+        // spares the probe a poorly-predicted data-vs-control test.
+        static_cast<std::uint32_t>(ev.msg.payload_size()),
+        static_cast<std::uint64_t>(sched_.now()), obs_self_id_);
+    if ((seq & obs::GroupRing::kSampleMask) == 0) {
+      const std::uint64_t t0 = obs::now_ns();
+      layers_[next]->down(g, ev);
+      down_lat_[next]->record(obs::now_ns() - t0);
+      return;
+    }
+  }
+#endif
   layers_[next]->down(g, ev);
 }
 
@@ -321,9 +367,31 @@ void Stack::forward_up(std::size_t from_index, Group& g, UpEvent& ev) {
     next = from_index - 1;
   }
   if (next == kAppSink) {
+#ifdef HORUS_METRICS
+    if (obs::enabled()) {
+      g.flight_ring()->record(
+          obs::FrEvent::kAppDeliver, obs::kFrNoLayer,
+          static_cast<std::uint32_t>(ev.msg.payload_size()),
+          static_cast<std::uint64_t>(sched_.now()), obs_self_id_);
+    }
+#endif
     app_up(g, ev);
     return;
   }
+#ifdef HORUS_METRICS
+  if (obs::enabled()) {
+    const std::uint64_t seq = g.flight_ring()->record(
+        obs::FrEvent::kForwardUp, static_cast<std::uint8_t>(next),
+        static_cast<std::uint32_t>(ev.msg.payload_size()),
+        static_cast<std::uint64_t>(sched_.now()), obs_self_id_);
+    if ((seq & obs::GroupRing::kSampleMask) == 0) {
+      const std::uint64_t t0 = obs::now_ns();
+      layers_[next]->up(g, ev);
+      up_lat_[next]->record(obs::now_ns() - t0);
+      return;
+    }
+  }
+#endif
   layers_[next]->up(g, ev);
 }
 
@@ -526,6 +594,15 @@ Layer* Stack::find_layer(const std::string& name) const {
 }
 
 std::string Stack::dump(Group& g, const std::string& layer_name) const {
+  // The flight recorder answers to the dump downcall like a pseudo-layer:
+  // dump(g, "FLIGHT") returns the group's recent-event ring (docs/obs.md).
+  if (layer_name == "FLIGHT") {
+#ifdef HORUS_METRICS
+    return obs::flight_recorder().dump(g.gid().id);
+#else
+    return "flight recorder compiled out (HORUS_METRICS=OFF)\n";
+#endif
+  }
   std::string out;
   if (layer_name.empty()) {
     for (const auto& l : layers_) l->dump(g, out);
@@ -542,6 +619,12 @@ void Stack::init_group(Group& g) {
   slots.clear();
   slots.reserve(layers_.size());
   for (const auto& l : layers_) slots.push_back(l->make_state(g));
+#ifdef HORUS_METRICS
+  // Teach the flight recorder this group's layer names so dumps print
+  // "NAK" instead of "#3". Last chain wins after a reconfig -- the current
+  // epoch is what a post-mortem reader wants labeled.
+  obs::flight_recorder().set_layers(g.gid().id, spec_string());
+#endif
 }
 
 std::string Stack::spec_string() const {

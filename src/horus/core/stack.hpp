@@ -27,6 +27,10 @@
 #include "horus/sim/scheduler.hpp"
 #include "horus/util/crypto.hpp"
 
+#ifdef HORUS_METRICS
+#include "horus/obs/metrics.hpp"
+#endif
+
 namespace horus {
 
 class Endpoint;
@@ -355,6 +359,16 @@ class Stack {
   HcpiMonitor* monitor_ = nullptr;
   std::uint32_t epoch_ = 0;
   std::uint16_t stamp_ = 0;
+#ifdef HORUS_METRICS
+  // horus-obs (docs/obs.md): per-layer latency histograms and boundary
+  // counters, resolved once at construction (registry addresses are
+  // stable), so a probe hit is pointer-indexed -- no name lookup.
+  std::vector<obs::Histogram*> down_lat_;
+  std::vector<obs::Histogram*> up_lat_;
+  // Endpoint address id, cached so the per-crossing flight-recorder probe
+  // doesn't chase owner_->address() (the address is fixed at construction).
+  std::uint64_t obs_self_id_ = 0;
+#endif
 };
 
 }  // namespace horus

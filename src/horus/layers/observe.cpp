@@ -59,7 +59,7 @@ std::unique_ptr<LayerState> Trace::make_state(Group&) {
 void Trace::note(State& st, std::string what) {
   ++st.counts[what];
   st.recent.push_back(std::move(what));
-  if (st.recent.size() > 32) st.recent.pop_front();
+  if (st.recent.size() > kRecentCap) st.recent.pop_front();
 }
 
 void Trace::down(Group& g, DownEvent& ev) {
@@ -78,6 +78,9 @@ void Trace::dump(Group& g, std::string& out) const {
   for (const auto& [what, n] : st.counts) {
     out += " " + what + "=" + std::to_string(n);
   }
+  // The ring is capped, the counts are not: recent= lets tests (and
+  // operators) verify overflow keeps only the last kRecentCap events.
+  out += " recent=" + std::to_string(st.recent.size());
   out += "\n";
 }
 

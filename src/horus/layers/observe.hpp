@@ -15,6 +15,7 @@
 
 #include "horus/core/layer.hpp"
 #include "horus/layers/common.hpp"
+#include "horus/util/thread_annotations.hpp"
 
 namespace horus::layers {
 
@@ -22,6 +23,13 @@ namespace horus::layers {
 /// *total* crash (every member gone) the group's delivered history can be
 /// recovered from it. Hand one instance to StackConfig::log_store before
 /// creating endpoints.
+///
+/// Internally synchronized: one store is shared by *multiple* endpoints
+/// (that is its whole point), and under a ShardedExecutor their LOG layers
+/// append from different shard threads concurrently -- the store is the one
+/// observe-layer object the group-ownership discipline does not cover.
+/// journal() therefore returns a snapshot by value: a reference into the
+/// map could be invalidated by a concurrent append's vector growth.
 struct LogStore {
   struct Entry {
     Address source;
@@ -31,21 +39,24 @@ struct LogStore {
   using Key = std::pair<std::uint64_t, std::uint64_t>;  // (owner, group)
 
   void append(Address owner, GroupId gid, Entry e) {
+    util::MutexLock lock(mu_);
     journals_[{owner.id, gid.id}].push_back(std::move(e));
   }
-  [[nodiscard]] const std::vector<Entry>& journal(Address owner, GroupId gid) const {
-    static const std::vector<Entry> kEmpty;
+  [[nodiscard]] std::vector<Entry> journal(Address owner, GroupId gid) const {
+    util::MutexLock lock(mu_);
     auto it = journals_.find({owner.id, gid.id});
-    return it != journals_.end() ? it->second : kEmpty;
+    return it != journals_.end() ? it->second : std::vector<Entry>{};
   }
   [[nodiscard]] std::size_t total_entries() const {
+    util::MutexLock lock(mu_);
     std::size_t n = 0;
     for (const auto& [k, v] : journals_) n += v.size();
     return n;
   }
 
  private:
-  std::map<Key, std::vector<Entry>> journals_;
+  mutable util::Mutex mu_;
+  std::map<Key, std::vector<Entry>> journals_ GUARDED_BY(mu_);
 };
 
 /// LOG: journals every delivered multicast into the shared LogStore.
@@ -73,6 +84,9 @@ class LogLayer final : public Layer {
 /// visible via the dump downcall.
 class Trace final : public Layer {
  public:
+  /// Ring size of the recent-event log; overflow drops the oldest entry.
+  static constexpr std::size_t kRecentCap = 32;
+
   Trace();
   const LayerInfo& info() const override { return info_; }
   std::unique_ptr<LayerState> make_state(Group& g) override;

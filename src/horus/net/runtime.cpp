@@ -5,6 +5,7 @@
 
 #include "horus/analysis/lint.hpp"
 #include "horus/layers/registry.hpp"
+#include "horus/obs/metrics.hpp"
 #include "horus/properties/algebra.hpp"
 #include "horus/runtime/executor.hpp"
 
@@ -56,6 +57,47 @@ NodeRuntime::NodeRuntime(const AddressBook& book, Address self,
   });
   driver_.add_executor(endpoint_->executor());
   udp_.bind(*endpoint_);
+  register_metrics();
+}
+
+void NodeRuntime::register_metrics() {
+  // Mirror this node's stats islands into the horus-obs namespace
+  // (docs/obs.md). Owner-scoped: shutdown() removes them, because these
+  // lambdas read object state that dies with the runtime.
+  obs::MetricsRegistry& reg = obs::metrics();
+  auto mirror = [&reg, this](const char* name,
+                             const std::atomic<std::uint64_t>& c) {
+    reg.poll_counter(name, this,
+                     [&c] { return c.load(std::memory_order_relaxed); });
+  };
+  const UdpStats& u = udp_.stats();
+  mirror("udp.tx_datagrams", u.tx_datagrams);
+  mirror("udp.tx_bytes", u.tx_bytes);
+  mirror("udp.tx_batches", u.tx_batches);
+  mirror("udp.tx_eagain_retries", u.tx_eagain_retries);
+  mirror("udp.tx_oversize_dropped", u.tx_oversize_dropped);
+  mirror("udp.tx_unroutable", u.tx_unroutable);
+  mirror("udp.tx_full_dropped", u.tx_full_dropped);
+  mirror("udp.rx_datagrams", u.rx_datagrams);
+  mirror("udp.rx_bytes", u.rx_bytes);
+  mirror("udp.rx_wakeups", u.rx_wakeups);
+  mirror("udp.rx_truncated", u.rx_truncated);
+  mirror("udp.rx_unknown_peer", u.rx_unknown_peer);
+  if (shim_ != nullptr) {
+    const FaultShimStats& f = shim_->stats();
+    mirror("shim.forwarded", f.forwarded);
+    mirror("shim.dropped", f.dropped);
+    mirror("shim.duplicated", f.duplicated);
+    mirror("shim.delayed", f.delayed);
+  }
+  const StackStats& st = endpoint_->stack().stats();
+  mirror("stack.downcalls", st.downcalls);
+  mirror("stack.upcalls_to_app", st.upcalls_to_app);
+  mirror("stack.datagrams_sent", st.datagrams_sent);
+  mirror("stack.datagrams_received", st.datagrams_received);
+  mirror("stack.wire_bytes_sent", st.wire_bytes_sent);
+  mirror("stack.header_bytes_sent", st.header_bytes_sent);
+  mirror("stack.payload_bytes_sent", st.payload_bytes_sent);
 }
 
 NodeRuntime::~NodeRuntime() { shutdown(); }
@@ -67,6 +109,9 @@ std::size_t NodeRuntime::run_for(std::chrono::milliseconds d) {
 void NodeRuntime::shutdown() {
   if (down_) return;
   down_ = true;
+  // The poll adapters read state owned by this runtime; unhook them before
+  // anything below starts dying.
+  obs::metrics().remove_polls(this);
   // Order matters: stop the reactor (no new deliveries arrive), then let
   // the executor finish what was already posted, so no task runs while
   // the endpoint is torn down underneath it.

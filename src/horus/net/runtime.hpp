@@ -79,6 +79,10 @@ class NodeRuntime {
   [[nodiscard]] std::string stats_summary() const;
 
  private:
+  /// Mirror UdpStats / shim / base-stack StackStats into the horus-obs
+  /// registry, owner-scoped to this runtime (shutdown unhooks them).
+  void register_metrics();
+
   AddressBook book_;
   Address self_;
   NodeConfig cfg_;

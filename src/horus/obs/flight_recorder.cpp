@@ -1,0 +1,132 @@
+#include "horus/obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace horus::obs {
+namespace {
+
+const char* event_name(FrEvent ev) {
+  switch (ev) {
+    case FrEvent::kDowncall:
+      return "DOWNCALL";
+    case FrEvent::kForwardDown:
+      return "DOWN";
+    case FrEvent::kForwardUp:
+      return "UP";
+    case FrEvent::kAppDeliver:
+      return "DELIVER";
+    case FrEvent::kDatagramRx:
+      return "RX";
+  }
+  return "?";
+}
+
+std::vector<std::string> split_spec(const std::string& colon_spec) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= colon_spec.size()) {
+    std::size_t end = colon_spec.find(':', start);
+    if (end == std::string::npos) end = colon_spec.size();
+    if (end > start) out.push_back(colon_spec.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+GroupRing* FlightRecorder::ring(std::uint64_t gid) {
+  util::MutexLock lock(mu_);
+  auto& slot = rings_[gid];
+  if (!slot) slot = std::make_unique<GroupRing>();
+  return slot.get();
+}
+
+void FlightRecorder::set_layers(std::uint64_t gid,
+                                const std::string& colon_spec) {
+  auto names = split_spec(colon_spec);
+  util::MutexLock lock(mu_);
+  layer_names_[gid] = std::move(names);
+}
+
+std::uint64_t FlightRecorder::count_of(FrEvent ev) const {
+  util::MutexLock lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [gid, ring] : rings_) total += ring->count_of(ev);
+  return total;
+}
+
+std::string FlightRecorder::dump(std::uint64_t gid) const {
+  const GroupRing* ring = nullptr;
+  std::vector<std::string> names;
+  {
+    util::MutexLock lock(mu_);
+    auto it = rings_.find(gid);
+    if (it == rings_.end()) return {};
+    ring = it->second.get();
+    auto nit = layer_names_.find(gid);
+    if (nit != layer_names_.end()) names = nit->second;
+  }
+  const std::uint64_t total = ring->recorded();
+  if (total == 0) return {};
+
+  std::string out = "FLIGHT group=" + std::to_string(gid) +
+                    " events=" + std::to_string(total) + " window=" +
+                    std::to_string(std::min<std::uint64_t>(
+                        total, GroupRing::kEntries)) +
+                    " rt~=" + std::to_string(ring->rtime_win_us()) + "us\n";
+  const std::uint64_t first =
+      total > GroupRing::kEntries ? total - GroupRing::kEntries : 0;
+  for (std::uint64_t seq = first; seq < total; ++seq) {
+    const GroupRing::Entry& e = ring->entry(seq);
+    const std::uint64_t meta = e.meta.load(std::memory_order_relaxed);
+    if (meta == 0) continue;  // slot never written (racing writer)
+    const auto ev = static_cast<FrEvent>(meta & 0xFF);
+    const auto layer = static_cast<std::uint8_t>((meta >> 8) & 0xFF);
+    const auto size = static_cast<std::uint32_t>(meta >> 32);
+    std::string layer_str =
+        layer == kFrNoLayer
+            ? std::string("-")
+            : (layer < names.size() ? names[layer]
+                                    : "#" + std::to_string(layer));
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "  [%llu] vt=%llu src=%llu %s layer=%s size=%u\n",
+                  static_cast<unsigned long long>(seq),
+                  static_cast<unsigned long long>(
+                      e.vtime.load(std::memory_order_relaxed)),
+                  static_cast<unsigned long long>(
+                      e.src.load(std::memory_order_relaxed)),
+                  event_name(ev), layer_str.c_str(), size);
+    out += line;
+  }
+  return out;
+}
+
+std::string FlightRecorder::dump_all() const {
+  std::vector<std::uint64_t> gids;
+  {
+    util::MutexLock lock(mu_);
+    gids.reserve(rings_.size());
+    for (const auto& [gid, ring] : rings_) {
+      if (ring->recorded() > 0) gids.push_back(gid);
+    }
+  }
+  std::string out;
+  for (std::uint64_t gid : gids) out += dump(gid);
+  return out;
+}
+
+void FlightRecorder::reset() {
+  util::MutexLock lock(mu_);
+  for (auto& [gid, ring] : rings_) ring->reset();
+  layer_names_.clear();
+}
+
+FlightRecorder& flight_recorder() {
+  static FlightRecorder* fr = new FlightRecorder();  // leaked: see metrics()
+  return *fr;
+}
+
+}  // namespace horus::obs

@@ -2,6 +2,10 @@
 
 #include <utility>
 
+#ifdef HORUS_METRICS
+#include "horus/obs/metrics.hpp"
+#endif
+
 namespace horus::runtime {
 namespace {
 
@@ -42,6 +46,11 @@ void MonitorExecutor::post(Task t) {
 }
 
 void GroupExecutor::post(GroupKey key, Task t) {
+#ifdef HORUS_METRICS
+  // Innermost wrap: the delay probe times queue residency only, not the
+  // race bookkeeping the outer wrapper adds.
+  t = obs::wrap_queue_delay_probe(std::move(t));
+#endif
 #ifdef HORUS_CHECK_RACES
   t = race::wrap_task(static_cast<const Executor*>(this), key, std::move(t));
 #endif
@@ -181,6 +190,9 @@ unsigned ShardedExecutor::shard_of(GroupKey key) const {
 }
 
 void ShardedExecutor::post(GroupKey key, Task t) {
+#ifdef HORUS_METRICS
+  t = obs::wrap_queue_delay_probe(std::move(t));
+#endif
 #ifdef HORUS_CHECK_RACES
   t = race::wrap_task(static_cast<const Executor*>(this), key, std::move(t));
 #endif
@@ -195,6 +207,10 @@ void ShardedExecutor::post(GroupKey key, Task t) {
 
 void ShardedExecutor::post_batch(GroupKey key, std::vector<Task> tasks) {
   if (tasks.empty()) return;
+#ifdef HORUS_METRICS
+  // Probe only the first task of a batch: one enqueue, one delay sample.
+  tasks.front() = obs::wrap_queue_delay_probe(std::move(tasks.front()));
+#endif
 #ifdef HORUS_CHECK_RACES
   for (Task& t : tasks) {
     t = race::wrap_task(static_cast<const Executor*>(this), key, std::move(t));

@@ -8,19 +8,8 @@
 namespace horus {
 namespace {
 
-LogLevel initial_level() {
-  const char* env = std::getenv("HORUS_LOG");
-  if (env == nullptr) return LogLevel::kOff;
-  if (std::strcmp(env, "trace") == 0) return LogLevel::kTrace;
-  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
-  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
-  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
-  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
-  return LogLevel::kOff;
-}
-
 std::atomic<LogLevel>& level_ref() {
-  static std::atomic<LogLevel> lvl{initial_level()};
+  static std::atomic<LogLevel> lvl{Log::level_from_env()};
   return lvl;
 }
 
@@ -39,6 +28,36 @@ const char* name(LogLevel lvl) {
 
 void Log::set_level(LogLevel lvl) { level_ref().store(lvl); }
 LogLevel Log::level() { return level_ref().load(); }
+
+std::optional<LogLevel> Log::parse_level(std::string_view s) {
+  std::string lower(s);
+  for (char& c : lower) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+LogLevel Log::level_from_env() {
+  const char* env = std::getenv("HORUS_LOG");
+  if (env == nullptr || *env == '\0') return LogLevel::kOff;
+  if (std::optional<LogLevel> lvl = parse_level(env)) return *lvl;
+  // Warn exactly once per distinct evaluation path: a typo that silently
+  // maps to kOff turns logging off with no signal.
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true)) {
+    std::fprintf(stderr,
+                 "horus: unrecognized HORUS_LOG value '%s' (accepted: "
+                 "trace|debug|info|warn|error|off); logging stays off\n",
+                 env);
+  }
+  return LogLevel::kOff;
+}
 
 void Log::write(LogLevel lvl, const std::string& component, const std::string& msg) {
   std::fprintf(stderr, "[%s] %s: %s\n", name(lvl), component.c_str(), msg.c_str());

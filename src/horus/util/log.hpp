@@ -3,8 +3,10 @@
 // (trace|debug|info|warn|error).
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace horus {
 
@@ -17,6 +19,16 @@ class Log {
   static bool enabled(LogLevel lvl) { return lvl >= level(); }
   static void write(LogLevel lvl, const std::string& component,
                     const std::string& msg);
+
+  /// Parse a level name, case-insensitively: trace|debug|info|warn|error|off
+  /// (so HORUS_LOG=Info means what the user meant). nullopt on anything else.
+  static std::optional<LogLevel> parse_level(std::string_view s);
+
+  /// The level HORUS_LOG asks for. Unset: kOff. Unrecognized values also
+  /// return kOff but emit a one-time stderr warning naming the bad value
+  /// and the accepted set -- silently disabling logging on a typo is how
+  /// debugging sessions get lost.
+  static LogLevel level_from_env();
 };
 
 namespace detail {

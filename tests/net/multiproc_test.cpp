@@ -15,6 +15,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -262,10 +263,16 @@ TEST(NetMultiproc, ThreeNodes_FaultShim5PercentDrop_StillDeliversAll) {
     EXPECT_EQ(r.delivered, 30u) << "node " << r.id << " lost casts";
   }
   expect_digests_agree(results);
-  // All three stayed: everyone converged on the full view.
-  std::vector<std::uint64_t> all = {1, 2, 3};
+  // All three stayed: everyone converged on the same full-membership
+  // view. Member *order* reflects join arrival at the coordinator, and
+  // with the shim dropping 5% a lost JOIN retries late -- so pin the
+  // membership set and cross-node agreement, not a specific global order.
+  std::vector<std::uint64_t> membership = results[0].view;
+  std::sort(membership.begin(), membership.end());
+  EXPECT_EQ(membership, (std::vector<std::uint64_t>{1, 2, 3}));
   for (const NodeResult& r : results) {
-    EXPECT_EQ(r.view, all) << "node " << r.id;
+    EXPECT_EQ(r.view, results[0].view) << "node " << r.id;
+    EXPECT_EQ(r.view_seq, results[0].view_seq) << "node " << r.id;
   }
 }
 

@@ -1,0 +1,68 @@
+// Log level parsing and the HORUS_LOG environment contract. The old
+// behaviour silently mapped any unrecognized value to kOff -- a typo like
+// HORUS_LOG=inof turned logging off with no signal. parse_level() accepts
+// the level set case-insensitively and level_from_env() warns (once) when
+// the variable is set to garbage.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "horus/util/log.hpp"
+
+namespace horus {
+namespace {
+
+TEST(LogParse, AcceptsCanonicalNames) {
+  EXPECT_EQ(Log::parse_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(Log::parse_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(Log::parse_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(Log::parse_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(Log::parse_level("error"), LogLevel::kError);
+  EXPECT_EQ(Log::parse_level("off"), LogLevel::kOff);
+}
+
+TEST(LogParse, IsCaseInsensitive) {
+  // HORUS_LOG=Info means what the user meant.
+  EXPECT_EQ(Log::parse_level("Info"), LogLevel::kInfo);
+  EXPECT_EQ(Log::parse_level("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(Log::parse_level("WaRn"), LogLevel::kWarn);
+  EXPECT_EQ(Log::parse_level("OFF"), LogLevel::kOff);
+}
+
+TEST(LogParse, RejectsEverythingElse) {
+  EXPECT_EQ(Log::parse_level(""), std::nullopt);
+  EXPECT_EQ(Log::parse_level("inof"), std::nullopt);    // the classic typo
+  EXPECT_EQ(Log::parse_level("info "), std::nullopt);   // no trimming
+  EXPECT_EQ(Log::parse_level("verbose"), std::nullopt);
+  EXPECT_EQ(Log::parse_level("2"), std::nullopt);
+}
+
+TEST(LogEnv, UnsetOrEmptyMeansOff) {
+  ::unsetenv("HORUS_LOG");
+  EXPECT_EQ(Log::level_from_env(), LogLevel::kOff);
+  ::setenv("HORUS_LOG", "", 1);
+  EXPECT_EQ(Log::level_from_env(), LogLevel::kOff);
+}
+
+TEST(LogEnv, RecognizedValueSetsLevel) {
+  ::setenv("HORUS_LOG", "Info", 1);
+  EXPECT_EQ(Log::level_from_env(), LogLevel::kInfo);
+  ::setenv("HORUS_LOG", "error", 1);
+  EXPECT_EQ(Log::level_from_env(), LogLevel::kError);
+  ::unsetenv("HORUS_LOG");
+}
+
+TEST(LogEnv, UnrecognizedValueFallsBackToOffWithWarning) {
+  // The fallback is still kOff -- but no longer silent. The warning goes
+  // to stderr exactly once per process; here we only pin the return value
+  // (capturing stderr portably is not worth the machinery).
+  ::setenv("HORUS_LOG", "inof", 1);
+  EXPECT_EQ(Log::level_from_env(), LogLevel::kOff);
+  // A second bad read still behaves (and must not warn again).
+  ::setenv("HORUS_LOG", "garbage", 1);
+  EXPECT_EQ(Log::level_from_env(), LogLevel::kOff);
+  ::unsetenv("HORUS_LOG");
+}
+
+}  // namespace
+}  // namespace horus

@@ -34,6 +34,13 @@
 //                       exploration even when every oracle passes. Needs a
 //                       binary built with -DHORUS_CHECK_RACES (the Debug
 //                       default); otherwise the flag is a hard error.
+//                       The flight recorder is dumped to stderr on the
+//                       first violation (docs/obs.md).
+//   --metrics           per-seed horus-obs counter deltas plus a final
+//                       registry summary (docs/obs.md)
+//
+// On failure the flight-recorder trace of the failing (shrunk) run is
+// written next to the repro artifact as <repro>.flight.txt.
 //
 // Exit status: 0 all seeds passed (or the replay reproduced exactly),
 // 1 a violation was found (artifact written) or --races saw an ownership
@@ -47,6 +54,8 @@
 
 #include "horus/analysis/race.hpp"
 #include "horus/check/explorer.hpp"
+#include "horus/obs/flight_recorder.hpp"
+#include "horus/obs/metrics.hpp"
 
 namespace {
 
@@ -61,7 +70,7 @@ int usage() {
                "                   [--switch-spec=SPEC] [--switch-at-ms=N]\n"
                "                   [--oracles=LIST|auto|all] [--no-shrink]\n"
                "                   [--shrink-budget=N] [--repro=PATH] "
-               "[--quiet] [--races]\n"
+               "[--quiet] [--races] [--metrics]\n"
                "       horus-check --replay=repro.json\n";
   return 2;
 }
@@ -202,6 +211,7 @@ int main(int argc, char** argv) {
   bool quiet = false;
   bool dump = false;
   bool check_races = false;
+  bool show_metrics = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -277,6 +287,8 @@ int main(int argc, char** argv) {
       dump = true;
     } else if (arg == "--races") {
       check_races = true;
+    } else if (arg == "--metrics") {
+      show_metrics = true;
     } else {
       return usage();
     }
@@ -287,7 +299,20 @@ int main(int argc, char** argv) {
                  "-DHORUS_CHECK_RACES (cmake -DCMAKE_BUILD_TYPE=Debug)\n";
     return 2;
   }
-  if (check_races) horus::race::reset();
+  if (check_races) {
+    horus::race::reset();
+    // Dump the flight recorder the moment the first violation is recorded:
+    // the rings still hold the boundary events leading up to the access.
+    auto dumped = std::make_shared<bool>(false);
+    horus::race::set_violation_hook(
+        [dumped](const horus::race::Report& r) {
+          if (*dumped) return;
+          *dumped = true;
+          std::cerr << "horus-race violation (" << horus::race::to_string(r.kind)
+                    << " at " << r.what << "); flight recorder:\n"
+                    << horus::obs::flight_recorder().dump_all();
+        });
+  }
 
   if (!replay_path.empty()) return replay_artifact(replay_path, dump);
 
@@ -319,6 +344,29 @@ int main(int argc, char** argv) {
                   << " ownership violation(s)\n";
         *last = now;
       }
+    };
+  }
+  if (show_metrics) {
+    // Per-seed deltas of the stack boundary counters: the registry is
+    // process-global, so diff across runs like the race counters above.
+    auto prev = std::move(opts.on_run);
+    auto last = std::make_shared<std::pair<std::uint64_t, std::uint64_t>>();
+    opts.on_run = [prev, last, quiet](std::uint64_t seed,
+                                      const RunResult& r) {
+      if (prev) prev(seed, r);
+      horus::obs::Snapshot s = horus::obs::metrics().snapshot();
+      auto value = [&s](const char* name) -> std::uint64_t {
+        const auto* c = s.find_counter(name);
+        return c != nullptr ? static_cast<std::uint64_t>(c->value) : 0;
+      };
+      std::uint64_t down = value("stack.forward_down");
+      std::uint64_t up = value("stack.forward_up");
+      if (!quiet) {
+        std::cout << "seed " << seed << ": metrics fwd_down="
+                  << (down - last->first) << " fwd_up="
+                  << (up - last->second) << "\n";
+      }
+      *last = {down, up};
     };
   }
 
@@ -356,6 +404,20 @@ int main(int argc, char** argv) {
   std::cout << "horus-check: stack " << scn.stack << ", " << total.runs
             << " seed(s), oracles " << oracles_to_string(total.oracles)
             << ": " << (total.ok() ? "all passed" : "FAILED") << "\n";
+  if (show_metrics) {
+    horus::obs::Snapshot s = horus::obs::metrics().snapshot();
+    std::cout << "metrics (whole exploration):\n";
+    for (const auto& c : s.counters) {
+      if (c.value != 0) std::cout << "  " << c.name << " = " << c.value << "\n";
+    }
+    for (const auto& h : s.histograms) {
+      if (h.count == 0) continue;
+      std::cout << "  " << h.name << ": n=" << h.count
+                << " mean=" << (h.sum / h.count)
+                << " p50<=" << h.quantile_bound(0.5)
+                << " p99<=" << h.quantile_bound(0.99) << "\n";
+    }
+  }
   if (check_races) {
     std::cout << horus::race::summary();
     if (horus::race::total_violations() > 0 && total.ok()) {
@@ -381,6 +443,25 @@ int main(int argc, char** argv) {
       std::cout << "repro written to " << repro_path << "\n";
     } else {
       std::cerr << "horus-check: cannot write " << repro_path << "\n";
+    }
+    // Flight-recorder trace of the failing run, next to the repro: replay
+    // the artifact deterministically so the rings hold exactly the shrunk
+    // failure's events, not whichever seed explore() ran last.
+    horus::obs::flight_recorder().reset();
+    try {
+      (void)replay(*total.repro);
+    } catch (const std::exception&) {
+      // a replay that dies still leaves the events recorded up to the throw
+    }
+    std::string flight = horus::obs::flight_recorder().dump_all();
+    if (flight.empty()) {
+      flight = "flight recorder empty (built with HORUS_METRICS=OFF?)\n";
+    }
+    const std::string flight_path = repro_path + ".flight.txt";
+    if (write_file(flight_path, flight)) {
+      std::cout << "flight-recorder trace written to " << flight_path << "\n";
+    } else {
+      std::cerr << "horus-check: cannot write " << flight_path << "\n";
     }
   }
   return 1;

@@ -13,6 +13,7 @@
 // it): per-sender delivery counts and FIFO digests, plus the last view.
 // With --drop/--dup/--delay-max-us the wire-level fault shim is installed
 // under the stack, so loss recovery can be demonstrated on localhost.
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -24,12 +25,20 @@
 #include <vector>
 
 #include "horus/net/runtime.hpp"
+#include "horus/obs/flight_recorder.hpp"
+#include "horus/obs/metrics.hpp"
 #include "horus/util/rng.hpp"
 #include "horus/util/serialize.hpp"
 
 using namespace horus;
 
 namespace {
+
+/// SIGUSR1 asks a live node for its flight-recorder rings (docs/obs.md);
+/// the handler only sets a flag, the main loop does the dumping.
+volatile std::sig_atomic_t g_dump_flight = 0;
+
+void on_sigusr1(int) { g_dump_flight = 1; }
 
 struct Args {
   std::uint64_t id = 0;
@@ -51,6 +60,8 @@ struct Args {
   long mtu = 1400;
   long shards = 1;
   bool quiet = false;
+  std::string metrics_dump;   // Prometheus exposition file ("" = off)
+  long metrics_every_ms = 0;  // 0: write once at shutdown only
 };
 
 [[noreturn]] void usage(const char* what) {
@@ -60,7 +71,9 @@ struct Args {
                "  [--contact=N] [--run-ms=N] [--casts=N] [--cast-start-ms=N]\n"
                "  [--cast-gap-ms=N] [--payload=N] [--leave-at-ms=N]\n"
                "  [--drop=P] [--dup=P] [--delay-min-us=N] [--delay-max-us=N]\n"
-               "  [--seed=N] [--mtu=N] [--shards=N] [--quiet]\n",
+               "  [--seed=N] [--mtu=N] [--shards=N] [--quiet]\n"
+               "  [--metrics-dump=FILE] [--metrics-every-ms=N]\n"
+               "SIGUSR1 dumps the flight recorder to stderr.\n",
                what);
   std::exit(2);
 }
@@ -95,6 +108,8 @@ Args parse_args(int argc, char** argv) {
     else if (key == "--mtu") a.mtu = num();
     else if (key == "--shards") a.shards = num();
     else if (key == "--quiet") a.quiet = true;
+    else if (key == "--metrics-dump") a.metrics_dump = val;
+    else if (key == "--metrics-every-ms") a.metrics_every_ms = num();
     else usage(("unknown flag " + arg).c_str());
   }
   if (a.id == 0) usage("--id is required (and must be nonzero)");
@@ -169,9 +184,23 @@ int main(int argc, char** argv) {
 
   node.endpoint().join(gid, Address{a.contact});
 
+  std::signal(SIGUSR1, on_sigusr1);
+  auto write_metrics = [&] {
+    if (a.metrics_dump.empty()) return;
+    if (std::FILE* f = std::fopen(a.metrics_dump.c_str(), "w")) {
+      std::string text = horus::obs::metrics().prometheus();
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "horus-node: cannot write %s\n",
+                   a.metrics_dump.c_str());
+    }
+  };
+
   using Clock = std::chrono::steady_clock;
   const auto start = Clock::now();
   long sent = 0;
+  long last_metrics_ms = 0;
   bool left = false;
   auto elapsed_ms = [&]() -> long {
     return static_cast<long>(std::chrono::duration_cast<
@@ -197,7 +226,23 @@ int main(int argc, char** argv) {
       node.endpoint().leave(gid);
       left = true;
     }
+    if (g_dump_flight != 0) {
+      g_dump_flight = 0;
+      std::string flight = horus::obs::flight_recorder().dump_all();
+      std::fprintf(stderr, "%s",
+                   flight.empty() ? "FLIGHT (no events recorded)\n"
+                                  : flight.c_str());
+      std::fflush(stderr);
+    }
+    if (a.metrics_every_ms > 0 &&
+        now - last_metrics_ms >= a.metrics_every_ms) {
+      last_metrics_ms = now;
+      write_metrics();
+    }
   }
+  // Final dump before shutdown: shutdown() unregisters the runtime's poll
+  // adapters, so a post-shutdown write would lose the stack.*/udp.* series.
+  write_metrics();
   node.shutdown();
 
   // Post-shutdown: the reactor is stopped and the executor drained, so
